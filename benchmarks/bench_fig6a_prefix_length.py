@@ -1,0 +1,32 @@
+"""Figure 6(a) — average prefix length, Basic GSimJoin vs + MinEdit.
+
+PROTEIN-like, q = 3, τ = 1..4.  Expected shape: minimum edit filtering
+shortens prefixes substantially, most dramatically at small τ (the paper
+reports up to 95% reduction at τ = 1).
+"""
+
+from workloads import PROT_Q, TAUS, format_table, gsim_run, write_series
+
+
+def test_fig6a_prefix_length(benchmark):
+    def compute():
+        rows = []
+        for tau in TAUS:
+            basic = gsim_run("protein", tau, PROT_Q, "basic").stats
+            minedit = gsim_run("protein", tau, PROT_Q, "minedit").stats
+            rows.append(
+                [tau, f"{basic.avg_prefix_length:.1f}", f"{minedit.avg_prefix_length:.1f}"]
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    table = format_table(
+        "Fig 6(a) PROTEIN avg prefix length (q=3)",
+        ["tau", "Basic", "+MinEdit"],
+        rows,
+    )
+    write_series("fig6a", table, [])
+    print("\n" + table)
+    # The headline claim: +MinEdit never lengthens the prefix.
+    for _, basic, minedit in rows:
+        assert float(minedit) <= float(basic)

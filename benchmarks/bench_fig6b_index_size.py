@@ -1,0 +1,34 @@
+"""Figure 6(b) — inverted index size, Basic GSimJoin vs + MinEdit.
+
+PROTEIN-like, q = 3, τ = 1..4.  Index size follows prefix length; both
+algorithms need little memory (the paper reports 76.6 kB for +MinEdit at
+τ = 4 on the 600-graph PROTEIN dataset).
+"""
+
+from workloads import PROT_Q, TAUS, format_table, gsim_run, write_series
+
+
+def test_fig6b_index_size(benchmark):
+    def compute():
+        rows = []
+        for tau in TAUS:
+            basic = gsim_run("protein", tau, PROT_Q, "basic").stats
+            minedit = gsim_run("protein", tau, PROT_Q, "minedit").stats
+            rows.append(
+                [
+                    tau,
+                    f"{basic.index_bytes / 1024.0:.1f}",
+                    f"{minedit.index_bytes / 1024.0:.1f}",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    table = format_table(
+        "Fig 6(b) PROTEIN index size kB (q=3)",
+        ["tau", "Basic", "+MinEdit"],
+        rows,
+    )
+    write_series("fig6b", table, [])
+    print("\n" + table)
+    assert len(rows) == len(TAUS)

@@ -1,0 +1,27 @@
+"""Figure 6(c) — Cand-1 (pairs surviving index probing), Basic vs + MinEdit.
+
+PROTEIN-like, q = 3, τ = 1..4.  Shorter prefixes probe fewer inverted
+lists, so +MinEdit generates fewer Cand-1 pairs (paper: up to 88% fewer
+at τ = 1).
+"""
+
+from workloads import PROT_Q, TAUS, format_table, gsim_run, write_series
+
+
+def test_fig6c_cand1(benchmark):
+    def compute():
+        rows = []
+        for tau in TAUS:
+            basic = gsim_run("protein", tau, PROT_Q, "basic").stats
+            minedit = gsim_run("protein", tau, PROT_Q, "minedit").stats
+            rows.append([tau, basic.cand1, minedit.cand1])
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    table = format_table(
+        "Fig 6(c) PROTEIN Cand-1 (q=3)", ["tau", "Basic", "+MinEdit"], rows
+    )
+    write_series("fig6c", table, [])
+    print("\n" + table)
+    for _, basic, minedit in rows:
+        assert minedit <= basic

@@ -1,0 +1,39 @@
+"""Figure 6(f) — total running time decomposed by phase: BG / ME / LL.
+
+PROTEIN-like, q = 3, τ = 1..4.  BG = Basic GSimJoin with plain A*;
+ME = + MinEdit prefixes with improved search order; LL = + Local Label
+filtering with the improved heuristic.  Expected shape: BG wins on index
+construction but loses overall at larger τ; LL fastest overall (paper:
+up to 2.1x over ME, 31.4x over BG).
+"""
+
+from workloads import PROT_Q, TAUS, format_table, gsim_run, write_series
+
+
+def test_fig6f_total_running_time(benchmark):
+    def compute():
+        rows = []
+        for tau in TAUS:
+            for label, variant in (("BG", "basic"), ("ME", "minedit"), ("LL", "full")):
+                st = gsim_run("protein", tau, PROT_Q, variant).stats
+                rows.append(
+                    [
+                        tau,
+                        label,
+                        f"{st.index_time:.2f}",
+                        f"{st.candidate_time:.2f}",
+                        f"{st.verify_time:.2f}",
+                        f"{st.total_time:.2f}",
+                    ]
+                )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    table = format_table(
+        "Fig 6(f) PROTEIN total running time by phase (s)",
+        ["tau", "alg", "index", "candgen", "verify", "total"],
+        rows,
+    )
+    write_series("fig6f", table, [])
+    print("\n" + table)
+    assert len(rows) == 3 * len(TAUS)

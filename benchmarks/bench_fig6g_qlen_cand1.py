@@ -1,0 +1,31 @@
+"""Figure 6(g) — Cand-1 vs q-gram length on AIDS.
+
+AIDS-like, q ∈ [2, 6], τ = 1..4, full GSimJoin.  Expected shape:
+U-curve — short q-grams are frequent (long inverted lists), long
+q-grams force long prefixes; the minimum sits near q = 3-4.
+"""
+
+from workloads import TAUS, format_table, gsim_run, write_series
+
+Q_RANGE = (2, 3, 4, 5, 6)
+
+
+def test_fig6g_cand1_vs_q(benchmark):
+    def compute():
+        rows = []
+        for tau in TAUS:
+            row = [tau]
+            for q in Q_RANGE:
+                row.append(gsim_run("aids", tau, q, "full").stats.cand1)
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    table = format_table(
+        "Fig 6(g) AIDS Cand-1 vs q",
+        ["tau"] + [f"q={q}" for q in Q_RANGE],
+        rows,
+    )
+    write_series("fig6g", table, [])
+    print("\n" + table)
+    assert len(rows) == len(TAUS)

@@ -1,0 +1,33 @@
+"""Figure 6(h) — Cand-2 vs q-gram length on AIDS.
+
+AIDS-like, q ∈ [2, 6], τ = 1..4, full GSimJoin.  Same U-shape as
+Fig 6(g); all configurations return identical join results.
+"""
+
+from workloads import TAUS, format_table, gsim_run, write_series
+
+Q_RANGE = (2, 3, 4, 5, 6)
+
+
+def test_fig6h_cand2_vs_q(benchmark):
+    def compute():
+        rows = []
+        for tau in TAUS:
+            results = {gsim_run("aids", tau, q, "full").stats.results for q in Q_RANGE}
+            assert len(results) == 1  # q never changes the answer
+            row = [tau]
+            for q in Q_RANGE:
+                row.append(gsim_run("aids", tau, q, "full").stats.cand2)
+            row.append(results.pop())
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    table = format_table(
+        "Fig 6(h) AIDS Cand-2 vs q",
+        ["tau"] + [f"q={q}" for q in Q_RANGE] + ["real"],
+        rows,
+    )
+    write_series("fig6h", table, [])
+    print("\n" + table)
+    assert len(rows) == len(TAUS)

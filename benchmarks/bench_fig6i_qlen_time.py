@@ -1,0 +1,33 @@
+"""Figure 6(i) — total running time vs q-gram length on AIDS.
+
+AIDS-like, q ∈ [2, 6], τ = 1..4, full GSimJoin.  Expected shape: the
+candidate-size U-curve translates into running time, with q = 3-4 most
+competitive at τ >= 2 (at τ = 1 index construction dominates, favouring
+short q-grams).
+"""
+
+from workloads import TAUS, format_table, gsim_run, write_series
+
+Q_RANGE = (2, 3, 4, 5, 6)
+
+
+def test_fig6i_time_vs_q(benchmark):
+    def compute():
+        rows = []
+        for tau in TAUS:
+            row = [tau]
+            for q in Q_RANGE:
+                st = gsim_run("aids", tau, q, "full").stats
+                row.append(f"{st.total_time:.2f}")
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    table = format_table(
+        "Fig 6(i) AIDS total running time vs q (s)",
+        ["tau"] + [f"q={q}" for q in Q_RANGE],
+        rows,
+    )
+    write_series("fig6i", table, [])
+    print("\n" + table)
+    assert len(rows) == len(TAUS)

@@ -1,0 +1,72 @@
+"""Figures 7(a)/(b) — average prefix length, κ-AT vs GSimJoin.
+
+AIDS-like (q=4) and PROTEIN-like (q=3) vs κ-AT at its best setting
+q = 1.  Note the paper's caveat: prefix lengths are not directly
+comparable because GSimJoin has far more q-grams per graph — the
+``grams/graph`` columns are printed alongside; the derived *required
+common grams* (grams − prefix + 1) is what shows GSimJoin's stricter
+count constraint (Section VII-E's 18.4 vs 63.6 discussion).
+"""
+
+from workloads import (
+    AIDS_Q,
+    PROT_Q,
+    TAUS,
+    dataset,
+    format_table,
+    gsim_run,
+    kat_run,
+    write_series,
+)
+
+from repro.core import extract_qgrams
+
+
+def _rows(ds: str, q: int):
+    graphs = list(dataset(ds))
+    n = len(graphs)
+    kat_grams = sum(g.num_vertices for g in graphs) / n
+    gs_grams = sum(extract_qgrams(g, q).size for g in graphs) / n
+    rows = []
+    for tau in TAUS:
+        kat = kat_run(ds, tau).stats
+        gs = gsim_run(ds, tau, q, "full").stats
+        rows.append(
+            [
+                tau,
+                f"{kat.avg_prefix_length:.1f}",
+                f"{gs.avg_prefix_length:.1f}",
+                f"{kat_grams:.1f}",
+                f"{gs_grams:.1f}",
+                f"{kat_grams - kat.avg_prefix_length + 1:.1f}",
+                f"{gs_grams - gs.avg_prefix_length + 1:.1f}",
+            ]
+        )
+    return rows
+
+
+COLUMNS = [
+    "tau",
+    "kAT prefix",
+    "GS prefix",
+    "kAT grams/g",
+    "GS grams/g",
+    "kAT req.common",
+    "GS req.common",
+]
+
+
+def test_fig7a_aids_prefix_length(benchmark):
+    rows = benchmark.pedantic(lambda: _rows("aids", AIDS_Q), rounds=1, iterations=1)
+    table = format_table("Fig 7(a) AIDS avg prefix length", COLUMNS, rows)
+    write_series("fig7a", table, [])
+    print("\n" + table)
+    assert len(rows) == len(TAUS)
+
+
+def test_fig7b_protein_prefix_length(benchmark):
+    rows = benchmark.pedantic(lambda: _rows("protein", PROT_Q), rounds=1, iterations=1)
+    table = format_table("Fig 7(b) PROTEIN avg prefix length", COLUMNS, rows)
+    write_series("fig7b", table, [])
+    print("\n" + table)
+    assert len(rows) == len(TAUS)

@@ -1,0 +1,35 @@
+"""Figures 7(c)/(d) — index size, κ-AT vs GSimJoin.
+
+Both algorithms keep small in-memory inverted indexes (paper: tens to a
+few hundred kB); sizes are reported under the paper's cost model
+(4-byte hashed gram + 4-byte graph id per posting).
+"""
+
+from workloads import AIDS_Q, PROT_Q, TAUS, format_table, gsim_run, kat_run, write_series
+
+
+def _rows(ds: str, q: int):
+    rows = []
+    for tau in TAUS:
+        kat = kat_run(ds, tau).stats
+        gs = gsim_run(ds, tau, q, "full").stats
+        rows.append(
+            [tau, f"{kat.index_bytes / 1024.0:.1f}", f"{gs.index_bytes / 1024.0:.1f}"]
+        )
+    return rows
+
+
+def test_fig7c_aids_index_size(benchmark):
+    rows = benchmark.pedantic(lambda: _rows("aids", AIDS_Q), rounds=1, iterations=1)
+    table = format_table("Fig 7(c) AIDS index size (kB)", ["tau", "kAT", "GSimJoin"], rows)
+    write_series("fig7c", table, [])
+    print("\n" + table)
+
+
+def test_fig7d_protein_index_size(benchmark):
+    rows = benchmark.pedantic(lambda: _rows("protein", PROT_Q), rounds=1, iterations=1)
+    table = format_table(
+        "Fig 7(d) PROTEIN index size (kB)", ["tau", "kAT", "GSimJoin"], rows
+    )
+    write_series("fig7d", table, [])
+    print("\n" + table)

@@ -1,0 +1,31 @@
+"""Figures 7(e)/(f) — Cand-1, κ-AT vs GSimJoin.
+
+Expected shape: GSimJoin's path 4-grams (3-grams on PROTEIN) are more
+selective than κ-AT's tree 1-grams, giving fewer Cand-1 pairs,
+especially on the denser PROTEIN-like data.
+"""
+
+from workloads import AIDS_Q, PROT_Q, TAUS, format_table, gsim_run, kat_run, write_series
+
+
+def _rows(ds: str, q: int):
+    rows = []
+    for tau in TAUS:
+        kat = kat_run(ds, tau).stats
+        gs = gsim_run(ds, tau, q, "full").stats
+        rows.append([tau, kat.cand1, gs.cand1])
+    return rows
+
+
+def test_fig7e_aids_cand1(benchmark):
+    rows = benchmark.pedantic(lambda: _rows("aids", AIDS_Q), rounds=1, iterations=1)
+    table = format_table("Fig 7(e) AIDS Cand-1", ["tau", "kAT", "GSimJoin"], rows)
+    write_series("fig7e", table, [])
+    print("\n" + table)
+
+
+def test_fig7f_protein_cand1(benchmark):
+    rows = benchmark.pedantic(lambda: _rows("protein", PROT_Q), rounds=1, iterations=1)
+    table = format_table("Fig 7(f) PROTEIN Cand-1", ["tau", "kAT", "GSimJoin"], rows)
+    write_series("fig7f", table, [])
+    print("\n" + table)

@@ -1,0 +1,40 @@
+"""Figures 7(g)/(h) — Cand-2 with the real result count, κ-AT vs GSimJoin.
+
+Expected shape: GSimJoin's stricter count constraint and local label
+filtering leave fewer pairs for the expensive GED computation; both
+algorithms return the identical join result.
+"""
+
+from workloads import AIDS_Q, PROT_Q, TAUS, format_table, gsim_run, kat_run, write_series
+
+
+def _rows(ds: str, q: int):
+    rows = []
+    for tau in TAUS:
+        kat = kat_run(ds, tau).stats
+        gs = gsim_run(ds, tau, q, "full").stats
+        assert kat.results == gs.results  # identical join answers
+        rows.append([tau, kat.cand2, gs.cand2, gs.results])
+    return rows
+
+
+def test_fig7g_aids_cand2(benchmark):
+    rows = benchmark.pedantic(lambda: _rows("aids", AIDS_Q), rounds=1, iterations=1)
+    table = format_table(
+        "Fig 7(g) AIDS Cand-2", ["tau", "kAT", "GSimJoin", "RealResult"], rows
+    )
+    write_series("fig7g", table, [])
+    print("\n" + table)
+    for _, kat, gs, real in rows:
+        assert real <= gs
+
+
+def test_fig7h_protein_cand2(benchmark):
+    rows = benchmark.pedantic(lambda: _rows("protein", PROT_Q), rounds=1, iterations=1)
+    table = format_table(
+        "Fig 7(h) PROTEIN Cand-2", ["tau", "kAT", "GSimJoin", "RealResult"], rows
+    )
+    write_series("fig7h", table, [])
+    print("\n" + table)
+    for _, kat, gs, real in rows:
+        assert real <= gs

@@ -1,0 +1,47 @@
+"""Figures 7(i)/(j) — total running time by phase, κ-AT vs GSimJoin.
+
+Expected shape: κ-AT has cheaper index construction / candidate
+generation (no minimum edit or local label machinery) but loses on
+total time through its larger Cand-2 and unoptimized GED search; the
+gap grows with τ and is largest on the dense PROTEIN-like data (the
+paper reports 6.6x on AIDS and 80.6x on PROTEIN).
+"""
+
+from workloads import AIDS_Q, PROT_Q, TAUS, format_table, gsim_run, kat_run, write_series
+
+
+def _rows(ds: str, q: int):
+    rows = []
+    for tau in TAUS:
+        for label, stats in (
+            ("AT", kat_run(ds, tau).stats),
+            ("GS", gsim_run(ds, tau, q, "full").stats),
+        ):
+            rows.append(
+                [
+                    tau,
+                    label,
+                    f"{stats.index_time:.2f}",
+                    f"{stats.candidate_time:.2f}",
+                    f"{stats.verify_time:.2f}",
+                    f"{stats.total_time:.2f}",
+                ]
+            )
+    return rows
+
+
+COLUMNS = ["tau", "alg", "index", "candgen", "verify", "total"]
+
+
+def test_fig7i_aids_total_time(benchmark):
+    rows = benchmark.pedantic(lambda: _rows("aids", AIDS_Q), rounds=1, iterations=1)
+    table = format_table("Fig 7(i) AIDS total running time (s)", COLUMNS, rows)
+    write_series("fig7i", table, [])
+    print("\n" + table)
+
+
+def test_fig7j_protein_total_time(benchmark):
+    rows = benchmark.pedantic(lambda: _rows("protein", PROT_Q), rounds=1, iterations=1)
+    table = format_table("Fig 7(j) PROTEIN total running time (s)", COLUMNS, rows)
+    write_series("fig7j", table, [])
+    print("\n" + table)

@@ -1,0 +1,56 @@
+"""Figures 7(k)/(l) — Cand-2, AppFull vs GSimJoin.
+
+AppFull's bipartite star bounds are tight, so its unresolved candidate
+set (lower bound ≤ τ < upper bound) is small — often smaller than
+GSimJoin's Cand-2 — but it pays an all-pairs matching cost to get there
+(Figures 7(m)/(n)).  Run on reduced subsets (AppFull is quadratic with
+a Hungarian call per pair; see workloads.py for the sizes).
+"""
+
+from workloads import (
+    AIDS_Q,
+    APPFULL_AIDS_N,
+    APPFULL_PROT_N,
+    PROT_Q,
+    TAUS,
+    appfull_run,
+    format_table,
+    gsim_run,
+    write_series,
+)
+
+
+def _rows(ds: str, q: int, n: int):
+    rows = []
+    for tau in TAUS:
+        af = appfull_run(ds, tau, n).stats
+        gs = gsim_run(ds, tau, q, "full", n=n).stats
+        assert af.results == gs.results
+        rows.append([tau, af.cand2, gs.cand2, gs.results])
+    return rows
+
+
+def test_fig7k_aids_cand2_vs_appfull(benchmark):
+    rows = benchmark.pedantic(
+        lambda: _rows("aids", AIDS_Q, APPFULL_AIDS_N), rounds=1, iterations=1
+    )
+    table = format_table(
+        f"Fig 7(k) AIDS Cand-2 (n={APPFULL_AIDS_N})",
+        ["tau", "AppFull", "GSimJoin", "RealResult"],
+        rows,
+    )
+    write_series("fig7k", table, [])
+    print("\n" + table)
+
+
+def test_fig7l_protein_cand2_vs_appfull(benchmark):
+    rows = benchmark.pedantic(
+        lambda: _rows("protein", PROT_Q, APPFULL_PROT_N), rounds=1, iterations=1
+    )
+    table = format_table(
+        f"Fig 7(l) PROTEIN Cand-2 (n={APPFULL_PROT_N})",
+        ["tau", "AppFull", "GSimJoin", "RealResult"],
+        rows,
+    )
+    write_series("fig7l", table, [])
+    print("\n" + table)

@@ -1,0 +1,62 @@
+"""Figures 7(m)/(n) — running time, AppFull vs GSimJoin.
+
+The paper compares AppFull's *filtering* time (its binary cannot
+verify) against GSimJoin's *total* time; we report both AppFull's
+filtering (candidate) time and its total including our A* verification
+of its candidates.  Expected shape: AppFull's filtering time is nearly
+constant in τ (all-pairs bipartite matching, no index) and larger than
+GSimJoin's total except possibly at the largest τ on PROTEIN.
+"""
+
+from workloads import (
+    AIDS_Q,
+    APPFULL_AIDS_N,
+    APPFULL_PROT_N,
+    PROT_Q,
+    TAUS,
+    appfull_run,
+    format_table,
+    gsim_run,
+    write_series,
+)
+
+
+def _rows(ds: str, q: int, n: int):
+    rows = []
+    for tau in TAUS:
+        af = appfull_run(ds, tau, n).stats
+        gs = gsim_run(ds, tau, q, "full", n=n).stats
+        rows.append(
+            [
+                tau,
+                f"{af.candidate_time:.2f}",
+                f"{af.total_time:.2f}",
+                f"{gs.total_time:.2f}",
+            ]
+        )
+    return rows
+
+
+COLUMNS = ["tau", "AppFull filter", "AppFull total", "GSimJoin total"]
+
+
+def test_fig7m_aids_time_vs_appfull(benchmark):
+    rows = benchmark.pedantic(
+        lambda: _rows("aids", AIDS_Q, APPFULL_AIDS_N), rounds=1, iterations=1
+    )
+    table = format_table(
+        f"Fig 7(m) AIDS running time (s, n={APPFULL_AIDS_N})", COLUMNS, rows
+    )
+    write_series("fig7m", table, [])
+    print("\n" + table)
+
+
+def test_fig7n_protein_time_vs_appfull(benchmark):
+    rows = benchmark.pedantic(
+        lambda: _rows("protein", PROT_Q, APPFULL_PROT_N), rounds=1, iterations=1
+    )
+    table = format_table(
+        f"Fig 7(n) PROTEIN running time (s, n={APPFULL_PROT_N})", COLUMNS, rows
+    )
+    write_series("fig7n", table, [])
+    print("\n" + table)

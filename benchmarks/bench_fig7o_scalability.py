@@ -1,0 +1,47 @@
+"""Figure 7(o) — scalability with dataset size, κ-AT vs GSimJoin.
+
+AIDS-like at τ = 2, scale factors 0.2..1.0.  The paper plots the square
+root of the running time: both algorithms grow quadratically (the result
+size itself grows quadratically), with GSimJoin's curve flatter.
+"""
+
+import math
+
+from workloads import AIDS_N, AIDS_Q, format_table, gsim_run, kat_run, write_series
+
+SCALES = (0.2, 0.4, 0.6, 0.8, 1.0)
+TAU = 2
+
+
+def test_fig7o_scalability(benchmark):
+    def compute():
+        rows = []
+        for scale in SCALES:
+            n = max(2, int(round(AIDS_N * scale)))
+            gs = gsim_run("aids", TAU, AIDS_Q, "full", n=n).stats
+            at = kat_run("aids", TAU, n=n).stats
+            assert gs.results == at.results
+            rows.append(
+                [
+                    scale,
+                    n,
+                    f"{math.sqrt(at.total_time):.2f}",
+                    f"{math.sqrt(gs.total_time):.2f}",
+                    gs.results,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    table = format_table(
+        "Fig 7(o) AIDS scalability, sqrt(total time in s), tau=2",
+        ["scale", "n", "kAT", "GSimJoin", "results"],
+        rows,
+    )
+    write_series("fig7o", table, [])
+    print("\n" + table)
+    # The result size grows with scale (quadratic-ish growth).  Samples
+    # at different scales are independent draws, so only the endpoints
+    # are compared (tiny scales can be noisy).
+    results = [r[-1] for r in rows]
+    assert results[-1] >= results[0]

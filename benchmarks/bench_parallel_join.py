@@ -1,0 +1,56 @@
+"""Extension benchmark — multi-core verification speedup.
+
+Not a paper figure: measures the parallel join (verification fanned out
+over a process pool) against the sequential Algorithm 1 at the largest
+τ, where the A* phase dominates and parallelism pays.  The speedup is
+bounded by the machine's core count (printed in the table header) —
+on a single-core box the pool can only add overhead, so this bench
+asserts result equality, not speedup.
+"""
+
+import os
+import time
+
+from workloads import AIDS_Q, MAX_TAU, dataset, format_table, write_series
+
+from repro import GSimJoinOptions, gsim_join
+from repro.core.parallel import gsim_join_parallel
+
+
+def test_parallel_join_speedup(benchmark):
+    graphs = list(dataset("aids"))
+    tau = MAX_TAU
+    options = GSimJoinOptions.full(q=AIDS_Q)
+
+    def compute():
+        rows = []
+        started = time.perf_counter()
+        sequential = gsim_join(graphs, tau, options=options)
+        t_seq = time.perf_counter() - started
+        rows.append(["sequential", f"{t_seq:.2f}", "1.00", sequential.stats.results])
+        for workers in (2, 4):
+            started = time.perf_counter()
+            parallel = gsim_join_parallel(
+                graphs, tau, options=options, workers=workers
+            )
+            elapsed = time.perf_counter() - started
+            assert parallel.pair_set() == sequential.pair_set()
+            rows.append(
+                [
+                    f"workers={workers}",
+                    f"{elapsed:.2f}",
+                    f"{t_seq / elapsed:.2f}",
+                    parallel.stats.results,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    cores = os.cpu_count() or 1
+    table = format_table(
+        f"Extension: parallel join (AIDS, tau={tau}, {cores} cpu core(s))",
+        ["mode", "time (s)", "speedup", "results"],
+        rows,
+    )
+    write_series("parallel_join", table, [])
+    print("\n" + table)

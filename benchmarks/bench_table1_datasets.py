@@ -1,0 +1,28 @@
+"""Table I — statistics of the datasets.
+
+Paper values: AIDS |R|=4000, avg|V|=25.6, avg|E|=27.5, |l_V|=44, |l_E|=3;
+PROTEIN |R|=600, avg|V|=32.6, avg|E|=62.1, |l_V|=3, |l_E|=2.  The
+synthetic stand-ins match the per-graph profile at reduced collection
+sizes (see workloads.py for scaling).
+"""
+
+from workloads import aids_dataset, protein_dataset, write_series
+
+from repro.graph import collection_statistics
+
+
+def test_table1_dataset_statistics(benchmark):
+    def compute():
+        rows = []
+        for name, graphs in (
+            ("AIDS-like", aids_dataset()),
+            ("PROTEIN-like", protein_dataset()),
+        ):
+            stats = collection_statistics(list(graphs))
+            rows.append(stats.as_table_row(name))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    text = write_series("table1", "Table I - dataset statistics", rows)
+    print("\n" + text)
+    assert len(rows) == 2

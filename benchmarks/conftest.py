@@ -1,0 +1,6 @@
+"""Benchmark-suite conftest: keeps `import workloads` resolvable."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))

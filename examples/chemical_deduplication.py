@@ -1,0 +1,111 @@
+"""Near-duplicate detection in a chemical compound registry.
+
+Scenario (the paper's motivating application): a compound registry
+accumulates noisy re-registrations of the same molecule — a mistyped
+atom, a missing bond, a wrong bond order.  A graph similarity join with
+a small edit distance threshold surfaces the duplicate clusters.
+
+This example:
+
+1. builds a registry with deliberately injected noisy duplicates,
+2. joins it at τ = 2 with GSimJoin,
+3. clusters the result pairs with a union-find,
+4. compares the filter cascade against a naive all-pairs scan.
+
+Run:  python examples/chemical_deduplication.py
+"""
+
+import random
+import time
+from collections import defaultdict
+
+from repro import GSimJoinOptions, assign_ids, gsim_join
+from repro.graph.generators import ATOM_LABELS, BOND_LABELS, random_molecule
+from repro.graph.operations import perturb
+
+
+def build_registry(num_compounds: int = 120, seed: int = 11):
+    """A registry where ~30% of entries are noisy re-registrations."""
+    rng = random.Random(seed)
+    registry = []
+    truth = {}  # graph position -> original compound index
+    for i in range(num_compounds):
+        if registry and rng.random() < 0.3:
+            # Re-register an existing compound with 1-2 entry errors.
+            source = rng.randrange(len(registry))
+            noisy = perturb(
+                registry[source], rng.randint(1, 2), rng, ATOM_LABELS, BOND_LABELS
+            )
+            truth[len(registry)] = truth[source]
+            registry.append(noisy)
+        else:
+            compound = random_molecule(rng, rng.randint(12, 30))
+            truth[len(registry)] = i
+            registry.append(compound)
+    return assign_ids(registry), truth
+
+
+class UnionFind:
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+
+    def find(self, x: int) -> int:
+        while self.parent[x] != x:
+            self.parent[x] = self.parent[self.parent[x]]
+            x = self.parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> None:
+        self.parent[self.find(a)] = self.find(b)
+
+
+def main() -> None:
+    registry, truth = build_registry()
+    print(f"Registry: {len(registry)} compounds "
+          f"({len(set(truth.values()))} distinct originals)")
+
+    started = time.perf_counter()
+    result = gsim_join(registry, tau=2, options=GSimJoinOptions.full(q=4))
+    elapsed = time.perf_counter() - started
+
+    # Cluster the similar pairs.
+    uf = UnionFind(len(registry))
+    for rid, sid in result.pairs:
+        uf.union(rid, sid)
+    clusters = defaultdict(list)
+    for i in range(len(registry)):
+        clusters[uf.find(i)].append(i)
+    dup_clusters = [members for members in clusters.values() if len(members) > 1]
+
+    print(f"\nFound {len(result)} similar pairs in {elapsed:.2f}s "
+          f"-> {len(dup_clusters)} duplicate clusters")
+    for members in sorted(dup_clusters, key=len, reverse=True)[:5]:
+        print(f"  cluster of {len(members)}: compounds {members}")
+
+    # How well do the clusters recover the injected duplicates?
+    recovered = sum(
+        1
+        for members in dup_clusters
+        for a in members
+        for b in members
+        if a < b and truth[a] == truth[b]
+    )
+    injected = sum(
+        1
+        for a in range(len(registry))
+        for b in range(a + 1, len(registry))
+        if truth[a] == truth[b]
+    )
+    print(f"\nInjected duplicate pairs recovered at tau=2: "
+          f"{recovered}/{injected}")
+    print("(Unrecovered pairs accumulated more noise than the threshold.)")
+
+    st = result.stats
+    total_pairs = st.num_graphs * (st.num_graphs - 1) // 2
+    print(f"\nFilter effectiveness: {total_pairs} pairs -> "
+          f"{st.cand1} Cand-1 -> {st.cand2} GED computations "
+          f"({st.ged_time:.2f}s in the verifier)")
+
+
+if __name__ == "__main__":
+    main()

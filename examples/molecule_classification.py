@@ -1,0 +1,73 @@
+"""GED-based k-nearest-neighbour classification of molecules.
+
+The paper motivates graph edit distance with classification and
+clustering applications in pattern recognition.  This example builds
+three synthetic "compound families" (perturbations of three scaffold
+molecules), indexes the labeled training set with
+:class:`repro.GSimIndex`, and classifies held-out molecules by majority
+vote among their k nearest neighbours within an edit distance budget.
+
+Run:  python examples/molecule_classification.py
+"""
+
+import random
+from collections import Counter
+
+from repro import GSimIndex, GSimJoinOptions
+from repro.graph.generators import ATOM_LABELS, BOND_LABELS, random_molecule
+from repro.graph.operations import perturb
+
+
+def build_families(num_families=3, per_family=14, seed=5):
+    """Each family: one scaffold + noisy variants within a few edits."""
+    rng = random.Random(seed)
+    train, test = [], []
+    for family in range(num_families):
+        scaffold = random_molecule(rng, rng.randint(14, 22))
+        members = [scaffold]
+        for _ in range(per_family - 1):
+            members.append(
+                perturb(scaffold, rng.randint(1, 3), rng, ATOM_LABELS, BOND_LABELS)
+            )
+        rng.shuffle(members)
+        split = int(len(members) * 0.75)
+        for i, g in enumerate(members[:split]):
+            g.graph_id = f"train-{family}-{i}"
+            train.append((g, family))
+        for i, g in enumerate(members[split:]):
+            g.graph_id = f"test-{family}-{i}"
+            test.append((g, family))
+    return train, test
+
+
+def main() -> None:
+    train, test = build_families()
+    print(f"Training set: {len(train)} molecules in 3 families; "
+          f"test set: {len(test)}")
+
+    labels = {g.graph_id: family for g, family in train}
+    index = GSimIndex(
+        [g for g, _ in train], tau_max=4, options=GSimJoinOptions.full(q=4)
+    )
+
+    k = 3
+    correct = 0
+    for g, truth in test:
+        neighbours = index.query_top_k(g, k=k)
+        if neighbours:
+            votes = Counter(labels[gid] for gid, _ in neighbours)
+            predicted, _ = votes.most_common(1)[0]
+        else:
+            predicted = None  # no neighbour within tau_max
+        hit = predicted == truth
+        correct += hit
+        shown = ", ".join(f"{gid}@{d}" for gid, d in neighbours) or "none"
+        print(f"  {g.graph_id}: predicted family {predicted} "
+              f"[{'ok' if hit else 'MISS'}] (neighbours: {shown})")
+
+    print(f"\n{k}-NN accuracy: {correct}/{len(test)} "
+          f"= {correct / len(test):.0%}")
+
+
+if __name__ == "__main__":
+    main()

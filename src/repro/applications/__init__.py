@@ -1,0 +1,18 @@
+"""GED-powered applications: clustering and classification.
+
+The paper motivates graph edit distance with "classification and
+clustering tasks in various application domains" (Section I).  This
+package provides the two standard constructions on top of the join and
+selection machinery:
+
+* :func:`threshold_clusters` — single-link clustering at an edit
+  distance threshold (connected components of the similarity-join
+  graph), with medoid extraction;
+* :class:`GedKnnClassifier` — k-nearest-neighbour classification over
+  a :class:`~repro.core.search.GSimIndex`.
+"""
+
+from repro.applications.clustering import cluster_medoid, threshold_clusters
+from repro.applications.knn import GedKnnClassifier
+
+__all__ = ["threshold_clusters", "cluster_medoid", "GedKnnClassifier"]

@@ -1,0 +1,99 @@
+"""Threshold clustering over the similarity join.
+
+``threshold_clusters`` runs the GSimJoin and returns the connected
+components of the resulting similarity graph — single-link clustering
+at radius ``τ`` (the standard construction for near-duplicate grouping:
+two graphs land in one cluster iff a chain of ``≤ τ``-neighbours links
+them).  ``cluster_medoid`` picks a cluster's most central member by
+total edit distance, useful as the canonical representative.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence
+
+from repro.core.join import GSimJoinOptions, gsim_join
+from repro.exceptions import ParameterError
+from repro.ged.astar import graph_edit_distance
+from repro.graph.graph import Graph
+
+__all__ = ["threshold_clusters", "cluster_medoid"]
+
+
+def threshold_clusters(
+    graphs: Sequence[Graph],
+    tau: int,
+    options: Optional[GSimJoinOptions] = None,
+    min_size: int = 1,
+) -> List[List[Graph]]:
+    """Single-link clusters at edit distance threshold ``tau``.
+
+    Returns clusters as lists of graphs, largest first (ties by the
+    smallest member id's repr, for determinism); singletons are included
+    unless ``min_size`` filters them out.
+
+    Raises
+    ------
+    ParameterError
+        Propagated from the join (ids, tau, mixed directedness), or if
+        ``min_size < 1``.
+    """
+    if min_size < 1:
+        raise ParameterError(f"min_size must be >= 1, got {min_size}")
+    result = gsim_join(graphs, tau, options=options)
+
+    parent: Dict[Hashable, Hashable] = {g.graph_id: g.graph_id for g in graphs}
+
+    def find(x: Hashable) -> Hashable:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for a, b in result.pairs:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+
+    groups: Dict[Hashable, List[Graph]] = {}
+    for g in graphs:
+        groups.setdefault(find(g.graph_id), []).append(g)
+    clusters = [
+        members for members in groups.values() if len(members) >= min_size
+    ]
+    clusters.sort(key=lambda ms: (-len(ms), repr(min(repr(g.graph_id) for g in ms))))
+    return clusters
+
+
+def cluster_medoid(cluster: Sequence[Graph], tau_cap: Optional[int] = None) -> Graph:
+    """The cluster member minimizing the total edit distance to the rest.
+
+    ``tau_cap`` bounds each pairwise computation (distances beyond the
+    cap saturate at ``tau_cap + 1``) — for clusters produced by
+    :func:`threshold_clusters` a cap of ``τ·diameter`` is safe and much
+    faster than exact all-pairs GED.
+
+    Raises
+    ------
+    ParameterError
+        If the cluster is empty.
+    """
+    members = list(cluster)
+    if not members:
+        raise ParameterError("cannot take the medoid of an empty cluster")
+    if len(members) == 1:
+        return members[0]
+    best_graph = members[0]
+    best_total = None
+    for candidate in members:
+        total = 0
+        for other in members:
+            if other is candidate:
+                continue
+            total += graph_edit_distance(candidate, other, threshold=tau_cap)
+            if best_total is not None and total >= best_total:
+                break
+        if best_total is None or total < best_total:
+            best_total = total
+            best_graph = candidate
+    return best_graph

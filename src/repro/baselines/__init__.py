@@ -1,0 +1,23 @@
+"""Competitor algorithms from the paper's evaluation: κ-AT, AppFull, naive."""
+
+from repro.baselines.appfull import AppFullPairBounds, appfull_bounds, appfull_join
+from repro.baselines.kat import (
+    KatProfile,
+    d_tree,
+    kat_join,
+    tree_gram_key,
+    tree_gram_multiset,
+)
+from repro.baselines.naive import naive_join
+
+__all__ = [
+    "kat_join",
+    "tree_gram_key",
+    "tree_gram_multiset",
+    "d_tree",
+    "KatProfile",
+    "appfull_join",
+    "appfull_bounds",
+    "AppFullPairBounds",
+    "naive_join",
+]

@@ -1,0 +1,66 @@
+"""The paper's contribution: path q-grams, filter cascade, GSimJoin."""
+
+from repro.core.estimate import JoinSizeEstimate, estimate_join_size
+from repro.core.count_filter import (
+    common_qgram_count,
+    count_lower_bound,
+    passes_count_filter,
+    passes_size_filter,
+    size_lower_bound,
+)
+from repro.core.inverted_index import InvertedIndex
+from repro.core.join import GSimJoinOptions, gsim_join, gsim_join_rs
+from repro.core.label_filter import (
+    connected_gram_components,
+    gamma,
+    global_label_lower_bound,
+    local_label_lower_bound,
+)
+from repro.core.minedit import min_edit_exact, min_edit_lower_bound, min_prefix_length
+from repro.core.mismatch import MismatchResult, compare_qgrams, mismatching_grams
+from repro.core.ordering import QGramOrdering, build_ordering
+from repro.core.parallel import gsim_join_parallel
+from repro.core.prefix import PrefixInfo, basic_prefix, minedit_prefix
+from repro.core.qgrams import QGram, QGramProfile, extract_qgrams, qgram_key
+from repro.core.result import JoinResult, JoinStatistics
+from repro.core.search import GSimIndex
+from repro.core.verify import VerifyOutcome, verify_pair
+
+__all__ = [
+    "gsim_join",
+    "gsim_join_rs",
+    "gsim_join_parallel",
+    "GSimIndex",
+    "GSimJoinOptions",
+    "JoinResult",
+    "JoinStatistics",
+    "QGram",
+    "QGramProfile",
+    "extract_qgrams",
+    "qgram_key",
+    "common_qgram_count",
+    "count_lower_bound",
+    "passes_count_filter",
+    "size_lower_bound",
+    "passes_size_filter",
+    "QGramOrdering",
+    "build_ordering",
+    "PrefixInfo",
+    "basic_prefix",
+    "minedit_prefix",
+    "min_edit_exact",
+    "min_edit_lower_bound",
+    "min_prefix_length",
+    "MismatchResult",
+    "compare_qgrams",
+    "mismatching_grams",
+    "gamma",
+    "global_label_lower_bound",
+    "local_label_lower_bound",
+    "connected_gram_components",
+    "InvertedIndex",
+    "VerifyOutcome",
+    "verify_pair",
+    "estimate_join_size",
+    "JoinSizeEstimate",
+]

@@ -1,0 +1,194 @@
+"""Multi-core GSimJoin.
+
+The join's phases have very different parallelism profiles: index
+construction and candidate generation are cheap and inherently
+sequential (the index-nested-loop consumes its own output), while
+verification — the filter cascade plus A* — dominates the runtime and
+is embarrassingly parallel across candidate pairs.
+:func:`gsim_join_parallel` therefore runs Algorithm 1's scan once to
+*collect* the candidate pairs, then verifies them on a
+``multiprocessing`` pool.
+
+Each worker lazily builds its own q-gram profile cache, so graphs are
+profiled at most once per worker regardless of how many candidate pairs
+they participate in.  Results are identical to :func:`repro.core.join.
+gsim_join` (asserted by the test suite); statistics are aggregated
+across workers, except wall-clock phase timings, which reflect the
+parent's view (``verify_time`` is the elapsed pool time).
+"""
+
+from __future__ import annotations
+
+import time
+from multiprocessing import Pool
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.count_filter import passes_size_filter
+from repro.core.inverted_index import InvertedIndex
+from repro.core.join import GSimJoinOptions, _prepare_profiles, _validate
+from repro.core.qgrams import extract_qgrams
+from repro.core.result import JoinResult, JoinStatistics
+from repro.core.verify import verify_pair
+from repro.exceptions import ParameterError
+from repro.graph.graph import Graph
+
+__all__ = ["gsim_join_parallel"]
+
+# Per-worker state, populated by the pool initializer.
+_worker: dict = {}
+
+
+def _init_worker(graphs: Sequence[Graph], tau: int, options: GSimJoinOptions) -> None:
+    _worker["graphs"] = list(graphs)
+    _worker["tau"] = tau
+    _worker["options"] = options
+    _worker["profiles"] = {}
+    _worker["labels"] = {}
+
+
+def _profile_of(i: int):
+    cached = _worker["profiles"].get(i)
+    if cached is None:
+        g = _worker["graphs"][i]
+        cached = extract_qgrams(g, _worker["options"].q)
+        _worker["profiles"][i] = cached
+        _worker["labels"][i] = (
+            g.vertex_label_multiset(), g.edge_label_multiset()
+        )
+    return cached, _worker["labels"][i]
+
+
+def _verify_chunk(chunk: List[Tuple[int, int]]):
+    """Verify a batch of candidate pairs inside a worker process."""
+    options: GSimJoinOptions = _worker["options"]
+    tau: int = _worker["tau"]
+    stats = JoinStatistics()
+    accepted: List[Tuple[int, int]] = []
+    for i, j in chunk:
+        p_i, labels_i = _profile_of(i)
+        p_j, labels_j = _profile_of(j)
+        outcome = verify_pair(
+            p_i,
+            p_j,
+            tau,
+            labels_i,
+            labels_j,
+            use_local_label=options.local_label,
+            improved_order=options.improved_order,
+            improved_h=options.improved_h,
+            stats=stats,
+            use_multicover=options.multicover,
+            verifier=options.verifier,
+        )
+        if outcome.is_result:
+            accepted.append((i, j))
+    return accepted, stats
+
+
+def _merge_stats(total: JoinStatistics, part: JoinStatistics) -> None:
+    total.cand2 += part.cand2
+    total.pruned_by_global_label += part.pruned_by_global_label
+    total.pruned_by_count += part.pruned_by_count
+    total.pruned_by_local_label += part.pruned_by_local_label
+    total.ged_calls += part.ged_calls
+    total.ged_expansions += part.ged_expansions
+    total.ged_time += part.ged_time  # summed CPU time across workers
+
+
+def gsim_join_parallel(
+    graphs: Sequence[Graph],
+    tau: int,
+    options: Optional[GSimJoinOptions] = None,
+    workers: int = 2,
+    chunk_size: int = 8,
+) -> JoinResult:
+    """Self-join with verification parallelized over ``workers`` processes.
+
+    Produces exactly the pairs of :func:`repro.core.join.gsim_join`;
+    result order follows the candidate scan.  ``workers=1`` degrades to
+    an in-process loop (useful for debugging without a pool).
+
+    Raises
+    ------
+    ParameterError
+        Same validation as the sequential join, plus ``workers >= 1``
+        and ``chunk_size >= 1``.
+    """
+    if options is None:
+        options = GSimJoinOptions()
+    if workers < 1:
+        raise ParameterError(f"workers must be >= 1, got {workers}")
+    if chunk_size < 1:
+        raise ParameterError(f"chunk_size must be >= 1, got {chunk_size}")
+    _validate(graphs, tau, options)
+
+    stats = JoinStatistics(num_graphs=len(graphs), tau=tau, q=options.q)
+    result = JoinResult(stats=stats)
+
+    # --- Phase 1: sequential scan, collecting candidate pairs ---------
+    started = time.perf_counter()
+    profiles, prefixes, _labels = _prepare_profiles(graphs, tau, options, stats)
+    stats.index_time += time.perf_counter() - started
+
+    started = time.perf_counter()
+    index = InvertedIndex()
+    unprunable: List[int] = []
+    pairs: List[Tuple[int, int]] = []
+    for i, profile in enumerate(profiles):
+        info = prefixes[i]
+        r = profile.graph
+        candidate_ids: Dict[int, bool] = {}
+        if info.prunable:
+            for gram in profile.grams[: info.length]:
+                for j in index.probe(gram.key):
+                    if j not in candidate_ids and passes_size_filter(
+                        r, profiles[j].graph, tau
+                    ):
+                        candidate_ids[j] = True
+            for j in unprunable:
+                if j not in candidate_ids and passes_size_filter(
+                    r, profiles[j].graph, tau
+                ):
+                    candidate_ids[j] = True
+        else:
+            for j in range(i):
+                if passes_size_filter(r, profiles[j].graph, tau):
+                    candidate_ids[j] = True
+        pairs.extend((i, j) for j in candidate_ids)
+        if info.prunable:
+            for gram in profile.grams[: info.length]:
+                index.add(gram.key, i)
+        else:
+            unprunable.append(i)
+    stats.cand1 = len(pairs)
+    stats.candidate_time += time.perf_counter() - started
+    stats.index_distinct_keys = index.num_distinct_keys
+    stats.index_postings = index.num_postings
+    stats.index_bytes = index.size_bytes
+
+    # --- Phase 2: parallel verification --------------------------------
+    started = time.perf_counter()
+    chunks = [pairs[k : k + chunk_size] for k in range(0, len(pairs), chunk_size)]
+    accepted: List[Tuple[int, int]] = []
+    if workers == 1 or not chunks:
+        _init_worker(graphs, tau, options)
+        for chunk in chunks:
+            got, part = _verify_chunk(chunk)
+            accepted.extend(got)
+            _merge_stats(stats, part)
+        _worker.clear()
+    else:
+        with Pool(
+            processes=workers,
+            initializer=_init_worker,
+            initargs=(list(graphs), tau, options),
+        ) as pool:
+            for got, part in pool.imap(_verify_chunk, chunks):
+                accepted.extend(got)
+                _merge_stats(stats, part)
+    stats.verify_time += time.perf_counter() - started
+
+    for i, j in accepted:
+        result.pairs.append((graphs[j].graph_id, graphs[i].graph_id))
+    stats.results = len(result.pairs)
+    return result

@@ -1,0 +1,81 @@
+"""Join results and the per-phase statistics plotted in the paper.
+
+Every figure of the evaluation section is a projection of these
+numbers: *Cand-1* (pairs surviving index probing + size filtering),
+*Cand-2* (pairs reaching the GED computation), result pairs, average
+prefix length, index size, and the three phase timings (index
+construction / candidate generation / GED computation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List, Tuple
+
+__all__ = ["JoinStatistics", "JoinResult"]
+
+
+@dataclass
+class JoinStatistics:
+    """Counters and timings collected during one join run."""
+
+    num_graphs: int = 0
+    tau: int = 0
+    q: int = 0
+
+    cand1: int = 0  #: candidate pairs after probing + size filtering
+    cand2: int = 0  #: pairs that reached the GED computation
+    results: int = 0  #: pairs in the join result
+
+    pruned_by_size: int = 0
+    pruned_by_global_label: int = 0
+    pruned_by_count: int = 0
+    pruned_by_local_label: int = 0
+
+    total_prefix_length: int = 0
+    unprunable_graphs: int = 0
+    index_distinct_keys: int = 0
+    index_postings: int = 0
+    index_bytes: int = 0
+
+    index_time: float = 0.0  #: q-gram extraction + ordering + prefix + inserts
+    candidate_time: float = 0.0  #: index probing + size filtering
+    verify_time: float = 0.0  #: Verify incl. filters and GED
+    ged_time: float = 0.0  #: GED A* searches only
+    ged_calls: int = 0
+    ged_expansions: int = 0
+
+    @property
+    def total_time(self) -> float:
+        return self.index_time + self.candidate_time + self.verify_time
+
+    @property
+    def avg_prefix_length(self) -> float:
+        return self.total_prefix_length / self.num_graphs if self.num_graphs else 0.0
+
+    def summary(self) -> str:
+        """One-line human-readable summary (used by examples/benchmarks)."""
+        return (
+            f"n={self.num_graphs} tau={self.tau} q={self.q} | "
+            f"cand1={self.cand1} cand2={self.cand2} results={self.results} | "
+            f"avg prefix={self.avg_prefix_length:.1f} "
+            f"index={self.index_bytes / 1024.0:.1f}kB | "
+            f"t_index={self.index_time:.3f}s t_cand={self.candidate_time:.3f}s "
+            f"t_verify={self.verify_time:.3f}s (ged {self.ged_time:.3f}s, "
+            f"{self.ged_calls} calls)"
+        )
+
+
+@dataclass
+class JoinResult:
+    """Result pairs (as graph-id tuples) plus the run's statistics."""
+
+    pairs: List[Tuple[Hashable, Hashable]] = field(default_factory=list)
+    stats: JoinStatistics = field(default_factory=JoinStatistics)
+
+    def pair_set(self) -> set:
+        """The result pairs as a set for comparisons in tests."""
+        return set(self.pairs)
+
+    def __len__(self) -> int:
+        return len(self.pairs)

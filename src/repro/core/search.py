@@ -1,0 +1,211 @@
+"""Graph similarity *selection* — the query-at-a-time counterpart.
+
+The paper positions the join as "a batch version of the graph
+similarity selection problem" (Section I).  :class:`GSimIndex` provides
+that selection interface with the same machinery: build an inverted
+index over the collection's q-gram prefixes once, then answer
+``query(g, tau)`` requests — each runs prefix probing, the Verify
+cascade (Algorithm 6) and the optimized A* on the survivors.
+
+The index is built for a maximum threshold ``tau_max``; any query with
+``tau <= tau_max`` is answered exactly.  Data graphs are indexed with
+their ``tau_max`` prefixes, a superset of every smaller-τ prefix, which
+keeps prefix filtering sound for all admissible thresholds (at the cost
+of a few extra candidates for small τ).  Graphs are also insertable
+incrementally — the global q-gram ordering is frozen at construction,
+and unseen q-gram keys conservatively sort last.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.count_filter import passes_size_filter
+from repro.core.inverted_index import InvertedIndex
+from repro.core.join import GSimJoinOptions
+from repro.core.ordering import QGramOrdering, build_ordering
+from repro.core.prefix import PrefixInfo, basic_prefix, minedit_prefix
+from repro.core.qgrams import QGramProfile, extract_qgrams
+from repro.core.result import JoinStatistics
+from repro.core.verify import verify_pair
+from repro.exceptions import ParameterError
+from repro.graph.graph import Graph
+
+__all__ = ["GSimIndex"]
+
+
+class GSimIndex:
+    """A graph similarity search index with edit distance thresholds.
+
+    Parameters
+    ----------
+    graphs:
+        Initial collection (each graph needs a distinct id).
+    tau_max:
+        Largest threshold the index will serve.
+    options:
+        Filtering configuration (defaults to ``GSimJoinOptions.full()``).
+
+    Examples
+    --------
+    >>> from repro.datasets import aids_like
+    >>> index = GSimIndex(aids_like(50, seed=1), tau_max=3)
+    >>> matches = index.query(index.graphs[0], tau=2)
+    """
+
+    def __init__(
+        self,
+        graphs: Sequence[Graph] = (),
+        tau_max: int = 2,
+        options: Optional[GSimJoinOptions] = None,
+    ) -> None:
+        if tau_max < 0:
+            raise ParameterError(f"tau_max must be >= 0, got {tau_max}")
+        self.tau_max = tau_max
+        self.options = options if options is not None else GSimJoinOptions()
+        self.graphs: List[Graph] = []
+        self._profiles: List[QGramProfile] = []
+        self._labels: List[Tuple] = []
+        self._ids: set = set()
+        self._index = InvertedIndex()
+        self._unprunable: List[int] = []
+
+        initial = list(graphs)
+        # Freeze the ordering on the initial collection (or empty).
+        self._ordering: QGramOrdering = build_ordering(
+            extract_qgrams(g, self.options.q) for g in initial
+        )
+        for g in initial:
+            self.add(g)
+
+    def __len__(self) -> int:
+        return len(self.graphs)
+
+    def add(self, g: Graph) -> None:
+        """Insert a graph into the index.
+
+        Raises
+        ------
+        ParameterError
+            If the graph has no id or a duplicate id.
+        """
+        if g.graph_id is None:
+            raise ParameterError("indexed graphs need an id")
+        if g.graph_id in self._ids:
+            raise ParameterError(f"duplicate graph id {g.graph_id!r}")
+        profile = extract_qgrams(g, self.options.q)
+        self._ordering.sort_profile(profile)
+        info = self._prefix(profile, self.tau_max)
+        position = len(self.graphs)
+        self.graphs.append(g)
+        self._profiles.append(profile)
+        self._labels.append((g.vertex_label_multiset(), g.edge_label_multiset()))
+        self._ids.add(g.graph_id)
+        if info.prunable:
+            for gram in profile.grams[: info.length]:
+                self._index.add(gram.key, position)
+        else:
+            self._unprunable.append(position)
+
+    def _prefix(self, profile: QGramProfile, tau: int) -> PrefixInfo:
+        if self.options.minedit_prefix:
+            return minedit_prefix(profile, tau)
+        return basic_prefix(profile, tau)
+
+    def query(
+        self,
+        g: Graph,
+        tau: int,
+        stats: Optional[JoinStatistics] = None,
+    ) -> List[Tuple[Hashable, int]]:
+        """All indexed graphs within edit distance ``tau`` of ``g``.
+
+        Returns ``(graph_id, distance)`` pairs (the query graph itself is
+        excluded when indexed, by id).  ``stats`` optionally accrues
+        candidate counts and GED timings across queries.
+
+        Raises
+        ------
+        ParameterError
+            If ``tau`` exceeds the index's ``tau_max`` or is negative.
+        """
+        if tau < 0:
+            raise ParameterError(f"tau must be >= 0, got {tau}")
+        if tau > self.tau_max:
+            raise ParameterError(
+                f"tau={tau} exceeds the index's tau_max={self.tau_max}"
+            )
+        profile = extract_qgrams(g, self.options.q)
+        self._ordering.sort_profile(profile)
+        info = self._prefix(profile, tau)
+
+        candidates: Dict[int, bool] = {}
+        if info.prunable:
+            for gram in profile.grams[: info.length]:
+                for j in self._index.probe(gram.key):
+                    if j not in candidates and passes_size_filter(
+                        g, self.graphs[j], tau
+                    ):
+                        candidates[j] = True
+            for j in self._unprunable:
+                if j not in candidates and passes_size_filter(g, self.graphs[j], tau):
+                    candidates[j] = True
+        else:
+            for j in range(len(self.graphs)):
+                if passes_size_filter(g, self.graphs[j], tau):
+                    candidates[j] = True
+        if stats:
+            stats.cand1 += len(candidates)
+
+        g_labels = (g.vertex_label_multiset(), g.edge_label_multiset())
+        matches: List[Tuple[Hashable, int]] = []
+        for j in candidates:
+            if self.graphs[j].graph_id == g.graph_id:
+                continue
+            outcome = verify_pair(
+                profile,
+                self._profiles[j],
+                tau,
+                g_labels,
+                self._labels[j],
+                use_local_label=self.options.local_label,
+                improved_order=self.options.improved_order,
+                improved_h=self.options.improved_h,
+                stats=stats,
+                use_multicover=self.options.multicover,
+                verifier=self.options.verifier,
+            )
+            if outcome.is_result:
+                matches.append((self.graphs[j].graph_id, outcome.ged))
+        matches.sort(key=lambda pair: (pair[1], repr(pair[0])))
+        return matches
+
+    def query_top_k(
+        self,
+        g: Graph,
+        k: int,
+        stats: Optional[JoinStatistics] = None,
+    ) -> List[Tuple[Hashable, int]]:
+        """The ``k`` nearest indexed graphs by edit distance.
+
+        Thresholds are grown incrementally (``τ = 0, 1, ..., tau_max``)
+        until ``k`` matches exist — the standard range-to-top-k
+        reduction: every graph at distance ``<= τ`` is found by the
+        ``τ`` query, so once ``>= k`` matches are in hand the ``k``
+        smallest are globally correct.  If fewer than ``k`` graphs lie
+        within ``tau_max``, all found matches are returned (possibly
+        fewer than ``k``).
+
+        Raises
+        ------
+        ParameterError
+            If ``k < 1``.
+        """
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        matches: List[Tuple[Hashable, int]] = []
+        for tau in range(self.tau_max + 1):
+            matches = self.query(g, tau, stats=stats)
+            if len(matches) >= k:
+                break
+        return matches[:k]

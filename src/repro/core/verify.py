@@ -1,0 +1,147 @@
+"""Candidate verification (Section VI, Algorithm 6).
+
+Candidates pass through a cascade of increasingly expensive filters —
+global label filtering, count filtering (via mismatching q-gram counts),
+local label filtering — and only survivors reach the A*-based GED
+computation, itself accelerated by the improved vertex order
+(Algorithm 7) and improved heuristic (Algorithm 8) when enabled.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.label_filter import (
+    global_label_lower_bound,
+    local_label_lower_bound,
+    multicover_min_edit_bound,
+)
+from repro.core.mismatch import compare_qgrams
+from repro.core.qgrams import QGramProfile
+from repro.core.result import JoinStatistics
+from repro.exceptions import ParameterError
+from repro.ged.astar import graph_edit_distance_detailed
+from repro.ged.heuristics import label_heuristic, make_local_label_heuristic
+from repro.ged.vertex_order import input_vertex_order, mismatch_vertex_order
+
+__all__ = ["VerifyOutcome", "verify_pair"]
+
+LabelPair = Tuple[Counter, Counter]
+
+
+@dataclass(frozen=True)
+class VerifyOutcome:
+    """Why a pair was accepted or rejected.
+
+    ``pruned_by`` is one of ``"global_label"``, ``"count"``,
+    ``"local_label"``, ``"ged"`` or ``None`` (accepted); ``ged`` is the
+    (threshold-capped) distance when the computation ran.
+    """
+
+    is_result: bool
+    pruned_by: Optional[str]
+    ged: Optional[int] = None
+
+
+def verify_pair(
+    p_r: QGramProfile,
+    p_s: QGramProfile,
+    tau: int,
+    labels_r: LabelPair,
+    labels_s: LabelPair,
+    use_local_label: bool,
+    improved_order: bool,
+    improved_h: bool,
+    stats: Optional[JoinStatistics] = None,
+    use_multicover: bool = False,
+    verifier: str = "astar",
+) -> VerifyOutcome:
+    """Run Algorithm 6 on one candidate pair.
+
+    Parameters mirror the join variants: ``use_local_label`` enables the
+    ε₄/ε₅ tests, ``improved_order``/``improved_h`` select the GED
+    optimizations of Section VI-B.  ``use_multicover`` additionally
+    applies the set-multicover minimum-edit bound over partially matched
+    surplus keys — an extension beyond the paper's Algorithm 5 (see
+    :func:`repro.core.label_filter.multicover_min_edit_bound`).
+    ``stats``, when given, accrues the Cand-2 counter, filter prune
+    counters, and GED timings.
+    """
+    r, s = p_r.graph, p_s.graph
+
+    # Global label filtering (Lemma 5).
+    eps1 = global_label_lower_bound(r, s, labels_r, labels_s)
+    if eps1 > tau:
+        if stats:
+            stats.pruned_by_global_label += 1
+        return VerifyOutcome(False, "global_label")
+
+    # Count filtering, via mismatching q-gram counts (Lemma 1 restated:
+    # |Q_r \ Q_s| <= tau * D_path(r), symmetrically for s).
+    mismatch = compare_qgrams(p_r, p_s)
+    if mismatch.epsilon_r > tau * p_r.d_path or mismatch.epsilon_s > tau * p_s.d_path:
+        if stats:
+            stats.pruned_by_count += 1
+        return VerifyOutcome(False, "count")
+
+    # Local label filtering (Algorithm 5), both directions.
+    if use_local_label:
+        eps4 = local_label_lower_bound(
+            mismatch.mismatch_r, r, s, tau,
+            other_labels=labels_s, required_keys=mismatch.absent_keys_r,
+        )
+        if eps4 > tau:
+            if stats:
+                stats.pruned_by_local_label += 1
+            return VerifyOutcome(False, "local_label")
+        eps5 = local_label_lower_bound(
+            mismatch.mismatch_s, s, r, tau,
+            other_labels=labels_r, required_keys=mismatch.absent_keys_s,
+        )
+        if eps5 > tau:
+            if stats:
+                stats.pruned_by_local_label += 1
+            return VerifyOutcome(False, "local_label")
+
+    # Multicover extension: bounds over partially matched surplus keys.
+    if use_multicover:
+        if (
+            multicover_min_edit_bound(mismatch.surplus_groups_r(p_r, p_s), tau) > tau
+            or multicover_min_edit_bound(mismatch.surplus_groups_s(p_r, p_s), tau) > tau
+        ):
+            if stats:
+                stats.pruned_by_local_label += 1
+            return VerifyOutcome(False, "multicover")
+
+    # GED computation on the survivors (Cand-2).
+    if stats:
+        stats.cand2 += 1
+    order = (
+        mismatch_vertex_order(r, mismatch.mismatch_r)
+        if improved_order
+        else input_vertex_order(r)
+    )
+    heuristic = make_local_label_heuristic(p_r.q, tau) if improved_h else label_heuristic
+    started = time.perf_counter()
+    if verifier == "dfs":
+        from repro.ged.dfs import dfs_ged
+
+        search = dfs_ged(
+            r, s, threshold=tau, heuristic=heuristic, vertex_order=order
+        )
+    elif verifier == "astar":
+        search = graph_edit_distance_detailed(
+            r, s, threshold=tau, heuristic=heuristic, vertex_order=order
+        )
+    else:
+        raise ParameterError(f"unknown verifier {verifier!r}")
+    if stats:
+        stats.ged_time += time.perf_counter() - started
+        stats.ged_calls += 1
+        stats.ged_expansions += search.expanded
+    if search.distance <= tau:
+        return VerifyOutcome(True, None, search.distance)
+    return VerifyOutcome(False, "ged", search.distance)

@@ -1,0 +1,6 @@
+"""Workload builders for the benchmarks and examples."""
+
+from repro.datasets.paper_figures import figure1_graphs, figure4_graphs
+from repro.datasets.synthetic import aids_like, protein_like
+
+__all__ = ["aids_like", "protein_like", "figure1_graphs", "figure4_graphs"]

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised for invalid graph operations.
+
+    Examples: adding a duplicate vertex, adding an edge whose endpoints do
+    not exist, creating a self-loop or a parallel edge, or querying a
+    missing vertex/edge.
+    """
+
+
+class GraphFormatError(ReproError):
+    """Raised when parsing a graph file that violates the expected format."""
+
+
+class ParameterError(ReproError):
+    """Raised when an algorithm receives an out-of-domain parameter.
+
+    Examples: a negative edit distance threshold, or a negative q-gram
+    length.
+    """

@@ -1,0 +1,54 @@
+"""Graph edit distance computation: A* search, heuristics, mapping costs."""
+
+from repro.ged.approximate import (
+    beam_search_ged,
+    bipartite_upper_bound,
+    ged_bounds,
+    label_lower_bound,
+)
+from repro.ged.astar import (
+    GedSearchResult,
+    ged_within,
+    graph_edit_distance,
+    graph_edit_distance_detailed,
+)
+from repro.ged.cost import induced_edit_cost
+from repro.ged.dfs import DfsSearchResult, dfs_ged
+from repro.ged.heuristics import (
+    Heuristic,
+    label_heuristic,
+    make_local_label_heuristic,
+    zero_heuristic,
+)
+from repro.ged.reference import brute_force_ged
+from repro.ged.weighted import CostModel, weighted_ged, weighted_induced_cost
+from repro.ged.vertex_order import (
+    input_vertex_order,
+    mismatch_vertex_order,
+    spanning_tree_vertex_order,
+)
+
+__all__ = [
+    "beam_search_ged",
+    "bipartite_upper_bound",
+    "ged_bounds",
+    "label_lower_bound",
+    "graph_edit_distance",
+    "graph_edit_distance_detailed",
+    "ged_within",
+    "GedSearchResult",
+    "induced_edit_cost",
+    "dfs_ged",
+    "DfsSearchResult",
+    "brute_force_ged",
+    "CostModel",
+    "weighted_ged",
+    "weighted_induced_cost",
+    "Heuristic",
+    "zero_heuristic",
+    "label_heuristic",
+    "make_local_label_heuristic",
+    "input_vertex_order",
+    "spanning_tree_vertex_order",
+    "mismatch_vertex_order",
+]

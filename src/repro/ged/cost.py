@@ -1,0 +1,74 @@
+"""Edit cost induced by a vertex mapping.
+
+Any total mapping from ``V(r)`` to ``V(s) ∪ {ε}`` (injective on the
+non-ε part) determines a canonical edit script: relabel/delete the
+mapped/ε vertices, insert the unmatched ``s`` vertices, and fix up every
+edge.  Its cost is an upper bound on ``ged(r, s)``, with equality for an
+optimal mapping — this is both the A* goal test's ``g`` value and the
+upper-bound half of the AppFull baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.exceptions import ParameterError
+from repro.graph.graph import Graph, Vertex
+
+__all__ = ["induced_edit_cost"]
+
+
+def induced_edit_cost(
+    r: Graph, s: Graph, mapping: Dict[Vertex, Optional[Vertex]]
+) -> int:
+    """Cost of the edit script induced by ``mapping``.
+
+    Parameters
+    ----------
+    mapping:
+        Maps *every* vertex of ``r`` to a distinct vertex of ``s`` or to
+        ``None`` (deletion).  Vertices of ``s`` not in the image are
+        insertions.
+
+    Raises
+    ------
+    ParameterError
+        If the mapping is not total on ``V(r)``, not injective, or maps
+        to vertices absent from ``s``.
+    """
+    if r.is_directed != s.is_directed:
+        raise ParameterError("cannot compare a directed with an undirected graph")
+    if set(mapping) != set(r.vertices()):
+        raise ParameterError("mapping must be total on V(r)")
+    inverse: Dict[Vertex, Vertex] = {}
+    for u, v in mapping.items():
+        if v is None:
+            continue
+        if not s.has_vertex(v):
+            raise ParameterError(f"mapping target {v!r} is not a vertex of s")
+        if v in inverse:
+            raise ParameterError(f"mapping is not injective at {v!r}")
+        inverse[v] = u
+
+    cost = 0
+    # Vertex operations.
+    for u, v in mapping.items():
+        if v is None:
+            cost += 1  # deletion
+        elif r.vertex_label(u) != s.vertex_label(v):
+            cost += 1  # relabel
+    cost += s.num_vertices - len(inverse)  # insertions
+
+    # Edges of r: matched (possibly relabeled) or deleted.
+    for u1, u2, label in r.edges():
+        v1, v2 = mapping[u1], mapping[u2]
+        if v1 is None or v2 is None or not s.has_edge(v1, v2):
+            cost += 1  # deletion
+        elif s.edge_label(v1, v2) != label:
+            cost += 1  # relabel
+    # Edges of s with no counterpart in r: insertions.
+    for v1, v2, _ in s.edges():
+        u1, u2 = inverse.get(v1), inverse.get(v2)
+        if u1 is None or u2 is None or not r.has_edge(u1, u2):
+            cost += 1
+    return cost

@@ -1,0 +1,140 @@
+"""Admissible heuristics ``h(x)`` for the A* GED search.
+
+All heuristics lower-bound the cost of completing a partial vertex
+mapping, keeping A* exact:
+
+* :func:`zero_heuristic` — Dijkstra-style baseline;
+* :func:`label_heuristic` — ``Γ`` label bound on the remaining parts
+  (the unweighted form of Riesen et al.'s bipartite heuristic, which the
+  paper notes "becomes exactly the result of global label filtering");
+* :func:`make_local_label_heuristic` — the paper's *improved h(x)*
+  (Algorithm 8): the maximum of the global label bound and both-direction
+  local label filtering bounds computed on the remaining subgraphs.
+
+Admissibility notes.  The remaining part ``r_q`` contributes its
+unmapped vertices and the edges *resident* on them (at least one
+unmapped endpoint) — every edit operation still to be paid touches those
+only, and each remaining-label surplus needs a distinct operation, so
+the ``Γ`` sum is a lower bound.  The local-label term is evaluated on
+the *induced* remaining subgraphs (both endpoints unmapped): completing
+the mapping restricted to those subgraphs is itself a valid full mapping
+between them, so ``ged(r_induced, s_induced)`` — and any lower bound on
+it — under-estimates the remaining cost.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Optional, Sequence, Set
+
+from repro.core.label_filter import gamma, local_label_lower_bound
+from repro.core.mismatch import compare_qgrams
+from repro.core.qgrams import extract_qgrams
+from repro.graph.graph import Graph, Vertex
+
+__all__ = [
+    "Heuristic",
+    "zero_heuristic",
+    "label_heuristic",
+    "make_local_label_heuristic",
+]
+
+#: Heuristic signature: (r, s, unmapped r vertices, unused s vertices) -> int.
+Heuristic = Callable[[Graph, Graph, Sequence[Vertex], Set[Vertex]], int]
+
+
+def zero_heuristic(
+    r: Graph, s: Graph, r_rest: Sequence[Vertex], s_rest: Set[Vertex]
+) -> int:
+    """The trivial heuristic (turns A* into uniform-cost search)."""
+    return 0
+
+
+def _remaining_label_bound(
+    r: Graph, s: Graph, r_rest: Sequence[Vertex], s_rest: Set[Vertex]
+) -> int:
+    r_set = set(r_rest)
+    rv = Counter(r.vertex_label(v) for v in r_rest)
+    sv = Counter(s.vertex_label(v) for v in s_rest)
+    re = Counter(
+        label
+        for u, v, label in r.edges()
+        if u in r_set or v in r_set
+    )
+    se = Counter(
+        label
+        for u, v, label in s.edges()
+        if u in s_rest or v in s_rest
+    )
+    return gamma(rv, sv) + gamma(re, se)
+
+
+def label_heuristic(
+    r: Graph, s: Graph, r_rest: Sequence[Vertex], s_rest: Set[Vertex]
+) -> int:
+    """``Γ(L_V) + Γ(L_E)`` over the remaining parts (resident edges)."""
+    return _remaining_label_bound(r, s, r_rest, s_rest)
+
+
+def make_local_label_heuristic(
+    q: int, tau: int, max_remaining: Optional[int] = 8
+) -> Heuristic:
+    """Build the paper's improved ``h(x)`` (Algorithm 8).
+
+    ``q`` is the q-gram length; ``tau`` caps the per-component exact
+    min-edit searches (the search never needs values beyond ``τ + 1``).
+
+    The returned heuristic memoizes subgraph profiles by remaining
+    vertex set: the fixed mapping order makes every ``r``-side remainder
+    depend only on the search depth (n distinct sets per A* run), and
+    ``s``-side remainders recur across branches, so the dominant cost —
+    q-gram extraction — is paid once per distinct remainder.
+
+    ``max_remaining`` gates the expensive local-label term to states
+    whose remainder has at most that many vertices (where both the bulk
+    of the search states live and extraction is cheap); larger remainders
+    fall back to the ``Γ`` bound.  The gate trades heuristic strength
+    for per-state cost without affecting admissibility — pass ``None``
+    to evaluate Algorithm 8 at every state, as the paper's C++
+    implementation does (it prunes the most states but is far slower in
+    CPython; ``bench_ablation_heuristic_gate`` quantifies the sweep and
+    picked the default of 8).
+    """
+
+    profile_cache: dict = {}
+
+    def _profile(g: Graph, rest: frozenset):
+        key = (id(g), rest)
+        entry = profile_cache.get(key)
+        if entry is None:
+            sub = g.subgraph(rest)
+            profile = extract_qgrams(sub, q)
+            labels = (sub.vertex_label_multiset(), sub.edge_label_multiset())
+            entry = (sub, profile, labels)
+            profile_cache[key] = entry
+        return entry
+
+    def improved_h(
+        r: Graph, s: Graph, r_rest: Sequence[Vertex], s_rest: Set[Vertex]
+    ) -> int:
+        eps1 = _remaining_label_bound(r, s, r_rest, s_rest)
+        if eps1 > tau or not r_rest or not s_rest:
+            return eps1
+        if max_remaining is not None and (
+            len(r_rest) > max_remaining or len(s_rest) > max_remaining
+        ):
+            return eps1
+        r_sub, p_r, r_labels = _profile(r, frozenset(r_rest))
+        s_sub, p_s, s_labels = _profile(s, frozenset(s_rest))
+        mismatch = compare_qgrams(p_r, p_s)
+        eps2 = local_label_lower_bound(
+            mismatch.mismatch_r, r_sub, s_sub, tau,
+            other_labels=s_labels, required_keys=mismatch.absent_keys_r,
+        )
+        eps3 = local_label_lower_bound(
+            mismatch.mismatch_s, s_sub, r_sub, tau,
+            other_labels=r_labels, required_keys=mismatch.absent_keys_s,
+        )
+        return max(eps1, eps2, eps3)
+
+    return improved_h

@@ -1,0 +1,45 @@
+"""Reference (brute-force) graph edit distance.
+
+Exhaustively enumerates every total mapping ``V(r) -> V(s) ∪ {ε}``
+(injective on the non-ε part) and takes the minimum induced edit cost.
+Exponential — usable only on toy graphs — but entirely independent of
+the A* machinery, which makes it the ground truth for the test suite.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Dict, Optional
+
+from repro.ged.cost import induced_edit_cost
+from repro.graph.graph import Graph, Vertex
+
+__all__ = ["brute_force_ged"]
+
+
+def brute_force_ged(r: Graph, s: Graph) -> int:
+    """Exact GED by exhaustive mapping enumeration (toy graphs only)."""
+    r_vertices = list(r.vertices())
+    s_vertices = list(s.vertices())
+    n = len(r_vertices)
+
+    best: Optional[int] = None
+    # Every injective partial assignment r -> s arises from a permutation
+    # of s-vertices padded with ε: pad s with n deletion slots, choose an
+    # n-arrangement.
+    slots = s_vertices + [None] * n
+    seen = set()
+    for arrangement in permutations(slots, n):
+        if arrangement in seen:
+            continue
+        seen.add(arrangement)
+        mapping: Dict[Vertex, Optional[Vertex]] = dict(zip(r_vertices, arrangement))
+        cost = induced_edit_cost(r, s, mapping)
+        if best is None or cost < best:
+            best = cost
+            if best == 0:
+                break
+    if best is None:  # n == 0: insert all of s
+        empty: Dict[Vertex, Optional[Vertex]] = {}
+        best = induced_edit_cost(r, s, empty)
+    return best

@@ -1,0 +1,54 @@
+"""Mapping orders for the A* search (Algorithm 7).
+
+A* maps the vertices of ``r`` in a fixed order; the order strongly
+affects how early edit operations (and thus cost, and thus pruning) are
+discovered.  The paper's *improved order* puts vertices covered by
+mismatching q-grams first — they are where the edit operations live —
+component by component, each in spanning-tree order so edge edits
+surface as soon as both endpoints are mapped.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+from repro.core.label_filter import connected_gram_components
+from repro.core.qgrams import QGram
+from repro.graph.graph import Graph, Vertex
+
+__all__ = ["input_vertex_order", "spanning_tree_vertex_order", "mismatch_vertex_order"]
+
+
+def input_vertex_order(r: Graph) -> List[Vertex]:
+    """Vertices in insertion order — the unoptimized baseline ("A*")."""
+    return list(r.vertices())
+
+
+def spanning_tree_vertex_order(r: Graph) -> List[Vertex]:
+    """All vertices in BFS spanning-tree order."""
+    return r.spanning_tree_order()
+
+
+def mismatch_vertex_order(r: Graph, mismatch_grams: Sequence[QGram]) -> List[Vertex]:
+    """The paper's ``DetermineVertexOrder`` (Algorithm 7).
+
+    Vertices contained in at least one mismatching q-gram come first,
+    grouped by connected component and ordered along a spanning tree
+    within each; the remaining vertices follow, also in spanning-tree
+    order.
+    """
+    order: List[Vertex] = []
+    placed: Set[Vertex] = set()
+    for component in connected_gram_components(mismatch_grams):
+        vertices: Set[Vertex] = set()
+        for gram in component:
+            vertices.update(gram.path)
+        for v in r.spanning_tree_order(within=vertices):
+            if v not in placed:
+                placed.add(v)
+                order.append(v)
+    for v in r.spanning_tree_order():
+        if v not in placed:
+            placed.add(v)
+            order.append(v)
+    return order

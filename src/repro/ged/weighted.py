@@ -1,0 +1,282 @@
+"""Weighted graph edit distance.
+
+The A* of Riesen, Fankhauser & Bunke — the algorithm the paper builds
+its verifier on — is defined for *weighted* GED: arbitrary non-negative
+costs per operation, possibly label-dependent.  The paper specializes
+to unit costs (where the filter stack applies); this module implements
+the general form for users who need domain-specific costs (e.g. cheap
+bond-order changes vs expensive atom substitutions).
+
+A :class:`CostModel` supplies the six cost functions.  The search is
+the same fixed-order mapping tree as :mod:`repro.ged.astar` with a
+cost-model-aware ``g`` and a simple admissible ``h`` (the cheapest
+possible treatment of each remaining vertex, by matching it to `any`
+remaining partner or deleting it — a per-vertex minimum, never an
+overestimate).  None of the q-gram filters apply under non-unit costs,
+so this is a standalone distance computation, not a join component.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ParameterError
+from repro.graph.graph import Graph, Label, Vertex
+
+__all__ = ["CostModel", "weighted_ged", "weighted_induced_cost"]
+
+LabelCost = Callable[[Label], float]
+PairCost = Callable[[Label, Label], float]
+
+
+def _unit_sub(a: Label, b: Label) -> float:
+    return 0.0 if a == b else 1.0
+
+
+def _one(_: Label) -> float:
+    return 1.0
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Non-negative costs for the six edit operations.
+
+    Substitution costs take both labels and must be 0 for equal labels
+    (validated); insert/delete costs take the inserted/deleted label.
+    The default is the paper's unit-cost model.
+    """
+
+    vertex_insertion: LabelCost = field(default=_one)
+    vertex_deletion: LabelCost = field(default=_one)
+    vertex_substitution: PairCost = field(default=_unit_sub)
+    edge_insertion: LabelCost = field(default=_one)
+    edge_deletion: LabelCost = field(default=_one)
+    edge_substitution: PairCost = field(default=_unit_sub)
+
+    def validate_on(self, labels: Sequence[Label]) -> None:
+        """Sanity-check the model on a label sample.
+
+        Raises
+        ------
+        ParameterError
+            On negative costs or non-zero same-label substitution.
+        """
+        for label in labels:
+            for fn in (self.vertex_insertion, self.vertex_deletion,
+                       self.edge_insertion, self.edge_deletion):
+                if fn(label) < 0:
+                    raise ParameterError(f"negative cost for label {label!r}")
+            if self.vertex_substitution(label, label) != 0:
+                raise ParameterError(
+                    f"vertex substitution of {label!r} with itself must cost 0"
+                )
+            if self.edge_substitution(label, label) != 0:
+                raise ParameterError(
+                    f"edge substitution of {label!r} with itself must cost 0"
+                )
+
+
+def weighted_induced_cost(
+    r: Graph,
+    s: Graph,
+    mapping: Dict[Vertex, Optional[Vertex]],
+    costs: CostModel,
+) -> float:
+    """Weighted edit cost of the script induced by a full vertex mapping.
+
+    Deleting a vertex implies deleting its incident edges; the cost
+    model prices each of those edge deletions individually.
+    """
+    if r.is_directed != s.is_directed:
+        raise ParameterError("cannot compare a directed with an undirected graph")
+    if set(mapping) != set(r.vertices()):
+        raise ParameterError("mapping must be total on V(r)")
+    inverse: Dict[Vertex, Vertex] = {}
+    for u, v in mapping.items():
+        if v is None:
+            continue
+        if v in inverse:
+            raise ParameterError(f"mapping is not injective at {v!r}")
+        inverse[v] = u
+
+    total = 0.0
+    for u, v in mapping.items():
+        if v is None:
+            total += costs.vertex_deletion(r.vertex_label(u))
+        else:
+            total += costs.vertex_substitution(r.vertex_label(u), s.vertex_label(v))
+    for v in s.vertices():
+        if v not in inverse:
+            total += costs.vertex_insertion(s.vertex_label(v))
+
+    for u1, u2, label in r.edges():
+        v1, v2 = mapping[u1], mapping[u2]
+        if v1 is None or v2 is None or not s.has_edge(v1, v2):
+            total += costs.edge_deletion(label)
+        else:
+            total += costs.edge_substitution(label, s.edge_label(v1, v2))
+    for v1, v2, label in s.edges():
+        u1, u2 = inverse.get(v1), inverse.get(v2)
+        if u1 is None or u2 is None or not r.has_edge(u1, u2):
+            total += costs.edge_insertion(label)
+    return total
+
+
+def _extension_cost_weighted(
+    r: Graph,
+    s: Graph,
+    order: Sequence[Vertex],
+    mapping: Tuple[Optional[Vertex], ...],
+    u: Vertex,
+    v: Optional[Vertex],
+    costs: CostModel,
+) -> float:
+    delta = 0.0
+    if v is None:
+        delta += costs.vertex_deletion(r.vertex_label(u))
+    else:
+        delta += costs.vertex_substitution(r.vertex_label(u), s.vertex_label(v))
+
+    directed = r.is_directed
+    for j, w in enumerate(mapping):
+        u_j = order[j]
+        pairs = (((u, u_j), (v, w)), ((u_j, u), (w, v))) if directed else (
+            ((u, u_j), (v, w)),
+        )
+        for (a, b), (x, y) in pairs:
+            if r.has_edge(a, b):
+                label = r.edge_label(a, b)
+                if x is None or y is None or not s.has_edge(x, y):
+                    delta += costs.edge_deletion(label)
+                else:
+                    delta += costs.edge_substitution(label, s.edge_label(x, y))
+            else:
+                if x is not None and y is not None and s.has_edge(x, y):
+                    delta += costs.edge_insertion(s.edge_label(x, y))
+    return delta
+
+
+def _completion_cost_weighted(s: Graph, used: frozenset, costs: CostModel) -> float:
+    total = sum(
+        costs.vertex_insertion(s.vertex_label(v))
+        for v in s.vertices()
+        if v not in used
+    )
+    for a, b, label in s.edges():
+        if a not in used or b not in used:
+            total += costs.edge_insertion(label)
+    return total
+
+
+def _vertex_floor(r: Graph, s: Graph, costs: CostModel) -> Callable:
+    """Per-vertex admissible remainder bound.
+
+    Each unmapped ``r``-vertex will either be deleted or substituted
+    against *some* ``s``-vertex; the cheapest of those options (ignoring
+    which partner, ignoring edges — both only lower the value) is a
+    valid per-vertex floor, and the per-vertex floors add up.  At least
+    ``|s_rest| − |r_rest|`` unmatched ``s``-vertices must additionally
+    be inserted; insertions are operations disjoint from the
+    ``r``-vertex ones, so the cheapest-surplus insertion total adds
+    soundly.
+    """
+
+    def h(r_rest: Sequence[Vertex], s_rest: frozenset) -> float:
+        s_labels = [s.vertex_label(v) for v in s_rest]
+        from_r = 0.0
+        for u in r_rest:
+            lu = r.vertex_label(u)
+            best = costs.vertex_deletion(lu)
+            for lv in s_labels:
+                cost = costs.vertex_substitution(lu, lv)
+                if cost < best:
+                    best = cost
+            from_r += best
+        surplus = len(s_rest) - len(r_rest)
+        from_s = 0.0
+        if surplus > 0:
+            ins = sorted(costs.vertex_insertion(lv) for lv in s_labels)
+            from_s = sum(ins[:surplus])
+        return from_r + from_s
+
+    return h
+
+
+def weighted_ged(
+    r: Graph,
+    s: Graph,
+    costs: Optional[CostModel] = None,
+    threshold: Optional[float] = None,
+) -> float:
+    """Exact weighted graph edit distance by A*.
+
+    With a ``threshold``, states costing more are pruned and the result
+    is ``inf`` when the distance exceeds it (float semantics — weighted
+    distances need not be integers).
+
+    Raises
+    ------
+    ParameterError
+        On a negative threshold, mixed directedness, or an invalid cost
+        model.
+    """
+    if costs is None:
+        costs = CostModel()
+    if threshold is not None and threshold < 0:
+        raise ParameterError(f"threshold must be >= 0, got {threshold}")
+    if r.is_directed != s.is_directed:
+        raise ParameterError("cannot compare a directed with an undirected graph")
+    sample = set(r.vertex_label_multiset()) | set(s.vertex_label_multiset()) | set(
+        r.edge_label_multiset()
+    ) | set(s.edge_label_multiset())
+    costs.validate_on(sorted(sample, key=repr))
+
+    order = list(r.vertices())
+    s_vertices = list(s.vertices())
+    n = len(order)
+    h = _vertex_floor(r, s, costs)
+
+    if n == 0:
+        distance = _completion_cost_weighted(s, frozenset(), costs)
+        if threshold is not None and distance > threshold:
+            return float("inf")
+        return distance
+
+    counter = itertools.count()
+    start_h = h(order, frozenset(s_vertices))
+    heap: List[Tuple[float, int, int, float, Tuple, frozenset]] = []
+    if threshold is None or start_h <= threshold:
+        heapq.heappush(heap, (start_h, 0, next(counter), 0.0, (), frozenset()))
+
+    while heap:
+        f, _neg_k, _tie, g, mapping, used = heapq.heappop(heap)
+        k = len(mapping)
+        if k == n:
+            return g
+        u = order[k]
+        targets: List[Optional[Vertex]] = [v for v in s_vertices if v not in used]
+        targets.append(None)
+        for v in targets:
+            g2 = g + _extension_cost_weighted(r, s, order, mapping, u, v, costs)
+            if threshold is not None and g2 > threshold:
+                continue
+            new_mapping = mapping + (v,)
+            new_used = used | {v} if v is not None else used
+            if k + 1 == n:
+                g2 += _completion_cost_weighted(s, new_used, costs)
+                h2 = 0.0
+            else:
+                h2 = h(order[k + 1 :], frozenset(set(s_vertices) - new_used))
+            f2 = g2 + h2
+            if threshold is not None and f2 > threshold:
+                continue
+            heapq.heappush(
+                heap, (f2, -(k + 1), next(counter), g2, new_mapping, new_used)
+            )
+
+    if threshold is None:
+        raise AssertionError("unbounded weighted GED search exhausted")
+    return float("inf")

@@ -1,0 +1,53 @@
+"""Graph substrate: data structure, IO, generators, edits, isomorphism."""
+
+from repro.graph.graph import Graph, edge_key
+from repro.graph.io import (
+    assign_ids,
+    dumps_graphs,
+    from_networkx,
+    load_graphs,
+    loads_graphs,
+    save_graphs,
+    to_networkx,
+)
+from repro.graph.isomorphism import are_isomorphic, find_isomorphism
+from repro.graph.operations import (
+    EdgeDeletion,
+    EdgeInsertion,
+    EdgeRelabel,
+    EditOperation,
+    VertexDeletion,
+    VertexInsertion,
+    VertexRelabel,
+    perturb,
+    random_edit,
+)
+from repro.graph.paths import count_simple_paths, simple_paths
+from repro.graph.statistics import CollectionStatistics, collection_statistics
+
+__all__ = [
+    "Graph",
+    "edge_key",
+    "load_graphs",
+    "loads_graphs",
+    "save_graphs",
+    "dumps_graphs",
+    "assign_ids",
+    "from_networkx",
+    "to_networkx",
+    "are_isomorphic",
+    "find_isomorphism",
+    "EditOperation",
+    "VertexInsertion",
+    "VertexDeletion",
+    "VertexRelabel",
+    "EdgeInsertion",
+    "EdgeDeletion",
+    "EdgeRelabel",
+    "random_edit",
+    "perturb",
+    "simple_paths",
+    "count_simple_paths",
+    "CollectionStatistics",
+    "collection_statistics",
+]

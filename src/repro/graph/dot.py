@@ -1,0 +1,48 @@
+"""Graphviz DOT export for debugging and documentation.
+
+Renders a :class:`~repro.graph.graph.Graph` as DOT text: vertex labels
+become node labels, edge labels become edge labels, and directedness
+selects ``digraph``/``graph`` with the matching edge operator.  Only
+the standard library is used; feed the output to ``dot -Tpng`` or any
+Graphviz viewer.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+from repro.graph.graph import Graph
+
+__all__ = ["to_dot", "save_dot"]
+
+
+def _quote(value: object) -> str:
+    text = str(value)
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def to_dot(g: Graph, name: str = None) -> str:
+    """Serialize ``g`` to Graphviz DOT text."""
+    kind = "digraph" if g.is_directed else "graph"
+    arrow = "->" if g.is_directed else "--"
+    graph_name = name if name is not None else (
+        str(g.graph_id) if g.graph_id is not None else "G"
+    )
+    lines = [f"{kind} {_quote(graph_name)} {{"]
+    index = {v: i for i, v in enumerate(g.vertices())}
+    for v, i in index.items():
+        lines.append(f"  n{i} [label={_quote(g.vertex_label(v))}];")
+    for u, v, label in g.edges():
+        lines.append(
+            f"  n{index[u]} {arrow} n{index[v]} [label={_quote(label)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def save_dot(g: Graph, path: Union[str, os.PathLike], name: str = None) -> None:
+    """Write ``g`` to a DOT file."""
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(to_dot(g, name=name))

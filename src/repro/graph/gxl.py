@@ -1,0 +1,178 @@
+"""GXL (Graph eXchange Language) serialization.
+
+The IAM graph repository — the source of the paper's PROTEIN dataset —
+distributes graphs as GXL, an XML dialect::
+
+    <gxl><graph id="g1" edgemode="undirected">
+      <node id="_0"><attr name="type"><string>helix</string></attr></node>
+      <edge from="_0" to="_1"><attr name="type"><string>seq</string></attr></edge>
+    </graph></gxl>
+
+This module reads and writes that dialect with the standard library's
+``xml.etree`` so users holding IAM data can load it directly.  Each
+``<attr>`` value may be a ``<string>``, ``<int>`` or ``<float>``; the
+label attribute is selectable by name (defaulting to the first
+attribute, or ``""`` when a node/edge carries none).
+"""
+
+from __future__ import annotations
+
+import os
+import xml.etree.ElementTree as ET
+from typing import List, Optional, Sequence, Union
+
+from repro.exceptions import GraphFormatError
+from repro.graph.graph import Graph
+
+__all__ = ["load_gxl", "loads_gxl", "save_gxl", "dumps_gxl"]
+
+_VALUE_TAGS = {"string": str, "int": int, "float": float, "bool": lambda t: t == "true"}
+
+
+def _attr_value(attr: ET.Element):
+    for child in attr:
+        tag = child.tag.split("}")[-1]
+        if tag in _VALUE_TAGS:
+            text = child.text or ""
+            try:
+                return _VALUE_TAGS[tag](text.strip())
+            except ValueError as exc:
+                raise GraphFormatError(f"bad GXL {tag} value {text!r}") from exc
+    raise GraphFormatError("GXL <attr> without a recognized value element")
+
+
+def _label_of(element: ET.Element, attr_name: Optional[str]):
+    chosen = None
+    for attr in element:
+        if attr.tag.split("}")[-1] != "attr":
+            continue
+        name = attr.get("name")
+        if attr_name is None and chosen is None:
+            chosen = _attr_value(attr)
+        elif attr_name is not None and name == attr_name:
+            return _attr_value(attr)
+    if attr_name is not None:
+        return ""
+    return chosen if chosen is not None else ""
+
+
+def _parse_root(root: ET.Element, vertex_attr, edge_attr) -> List[Graph]:
+    graphs: List[Graph] = []
+    graph_elements = [
+        el for el in root.iter() if el.tag.split("}")[-1] == "graph"
+    ]
+    if root.tag.split("}")[-1] == "graph":
+        graph_elements = [root]
+    for graph_el in graph_elements:
+        directed = graph_el.get("edgemode", "undirected") in (
+            "directed",
+            "defaultdirected",
+        )
+        g = Graph(graph_el.get("id"), directed=directed)
+        try:
+            for el in graph_el:
+                tag = el.tag.split("}")[-1]
+                if tag == "node":
+                    node_id = el.get("id")
+                    if node_id is None:
+                        raise GraphFormatError("GXL <node> without id")
+                    g.add_vertex(node_id, _label_of(el, vertex_attr))
+            for el in graph_el:
+                tag = el.tag.split("}")[-1]
+                if tag == "edge":
+                    u, v = el.get("from"), el.get("to")
+                    if u is None or v is None:
+                        raise GraphFormatError("GXL <edge> without from/to")
+                    g.add_edge(u, v, _label_of(el, edge_attr))
+        except GraphFormatError:
+            raise
+        except Exception as exc:  # malformed structure -> format error
+            raise GraphFormatError(f"malformed GXL graph {g.graph_id!r}: {exc}") from exc
+        graphs.append(g)
+    return graphs
+
+
+def loads_gxl(
+    text: str,
+    vertex_attr: Optional[str] = None,
+    edge_attr: Optional[str] = None,
+) -> List[Graph]:
+    """Parse GXL text into a list of graphs.
+
+    ``vertex_attr``/``edge_attr`` name the ``<attr>`` used as the label
+    (IAM PROTEIN uses ``"type"`` for both); by default the first
+    attribute of each node/edge is used.
+
+    Raises
+    ------
+    GraphFormatError
+        On malformed XML or GXL structure.
+    """
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise GraphFormatError(f"invalid XML: {exc}") from exc
+    return _parse_root(root, vertex_attr, edge_attr)
+
+
+def load_gxl(
+    path: Union[str, os.PathLike],
+    vertex_attr: Optional[str] = None,
+    edge_attr: Optional[str] = None,
+) -> List[Graph]:
+    """Load graphs from a GXL file (see :func:`loads_gxl`)."""
+    with open(path, "r", encoding="utf-8") as f:
+        return loads_gxl(f.read(), vertex_attr, edge_attr)
+
+
+def _value_element(parent: ET.Element, value) -> None:
+    if isinstance(value, bool):
+        el = ET.SubElement(parent, "bool")
+        el.text = "true" if value else "false"
+    elif isinstance(value, int):
+        el = ET.SubElement(parent, "int")
+        el.text = str(value)
+    elif isinstance(value, float):
+        el = ET.SubElement(parent, "float")
+        el.text = repr(value)
+    else:
+        el = ET.SubElement(parent, "string")
+        el.text = str(value)
+
+
+def dumps_gxl(
+    graphs: Sequence[Graph],
+    vertex_attr: str = "label",
+    edge_attr: str = "label",
+) -> str:
+    """Serialize graphs to GXL text (undirected edge mode)."""
+    gxl = ET.Element("gxl")
+    for i, g in enumerate(graphs):
+        gid = str(g.graph_id) if g.graph_id is not None else f"graph_{i}"
+        edgemode = "directed" if g.is_directed else "undirected"
+        graph_el = ET.SubElement(
+            gxl, "graph", id=gid, edgeids="false", edgemode=edgemode
+        )
+        names = {v: f"_{j}" for j, v in enumerate(g.vertices())}
+        for v, name in names.items():
+            node = ET.SubElement(graph_el, "node", id=name)
+            attr = ET.SubElement(node, "attr", name=vertex_attr)
+            _value_element(attr, g.vertex_label(v))
+        for u, v, label in g.edges():
+            edge = ET.SubElement(
+                graph_el, "edge", attrib={"from": names[u], "to": names[v]}
+            )
+            attr = ET.SubElement(edge, "attr", name=edge_attr)
+            _value_element(attr, label)
+    return ET.tostring(gxl, encoding="unicode")
+
+
+def save_gxl(
+    graphs: Sequence[Graph],
+    path: Union[str, os.PathLike],
+    vertex_attr: str = "label",
+    edge_attr: str = "label",
+) -> None:
+    """Write graphs to a GXL file (see :func:`dumps_gxl`)."""
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(dumps_gxl(graphs, vertex_attr, edge_attr))

@@ -1,0 +1,164 @@
+"""Serialization of graph collections.
+
+The on-disk format is the line-oriented text format used by most public
+graph-database benchmarks (gSpan / AIDS dumps)::
+
+    t # <graph id>
+    v <vertex id> <vertex label>
+    e <vertex id> <vertex id> <edge label>
+
+Vertex ids inside a graph are integers; labels are stored verbatim as
+strings.  :func:`load_graphs` and :func:`save_graphs` round-trip any
+collection produced by this library (labels are read back as strings, so
+collections that must round-trip exactly should use string labels).
+
+Interop helpers for ``networkx`` are provided for users who already hold
+their data as ``networkx`` graphs; the library itself never requires
+networkx.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Iterable, List, Sequence, TextIO, Union
+
+from repro.exceptions import GraphError, GraphFormatError
+from repro.graph.graph import Graph
+
+__all__ = [
+    "load_graphs",
+    "loads_graphs",
+    "save_graphs",
+    "dumps_graphs",
+    "assign_ids",
+    "from_networkx",
+    "to_networkx",
+]
+
+
+def _parse(stream: TextIO, source: str) -> List[Graph]:
+    graphs: List[Graph] = []
+    current: Graph = None  # type: ignore[assignment]
+    for lineno, raw in enumerate(stream, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split()
+        tag = fields[0]
+        try:
+            if tag == "t":
+                # "t # <id> [directed]"; the id may be omitted.
+                gid: Union[int, str, None] = None
+                directed = fields[-1] == "directed"
+                if len(fields) >= 3 and fields[2] != "directed":
+                    gid = int(fields[2]) if fields[2].lstrip("-").isdigit() else fields[2]
+                current = Graph(gid, directed=directed)
+                graphs.append(current)
+            elif tag == "v":
+                if current is None:
+                    raise GraphFormatError(f"{source}:{lineno}: 'v' before 't'")
+                vid = int(fields[1])
+                label = " ".join(fields[2:])
+                current.add_vertex(vid, label)
+            elif tag == "e":
+                if current is None:
+                    raise GraphFormatError(f"{source}:{lineno}: 'e' before 't'")
+                u, v = int(fields[1]), int(fields[2])
+                label = " ".join(fields[3:])
+                current.add_edge(u, v, label)
+            else:
+                raise GraphFormatError(
+                    f"{source}:{lineno}: unknown record type {tag!r}"
+                )
+        except GraphFormatError:
+            raise
+        except GraphError as exc:
+            raise GraphFormatError(f"{source}:{lineno}: {exc}") from exc
+        except (IndexError, ValueError) as exc:
+            raise GraphFormatError(f"{source}:{lineno}: malformed line {line!r}") from exc
+    return graphs
+
+
+def load_graphs(path: Union[str, os.PathLike]) -> List[Graph]:
+    """Load a graph collection from a text file.
+
+    Raises
+    ------
+    GraphFormatError
+        On malformed input (unknown record type, edge before its graph,
+        non-integer vertex ids, duplicate vertices/edges, ...).
+    """
+    with open(path, "r", encoding="utf-8") as f:
+        return _parse(f, str(path))
+
+
+def loads_graphs(text: str) -> List[Graph]:
+    """Parse a graph collection from a string (see :func:`load_graphs`)."""
+    return _parse(io.StringIO(text), "<string>")
+
+
+def dumps_graphs(graphs: Iterable[Graph]) -> str:
+    """Serialize a collection of graphs to the text format."""
+    lines: List[str] = []
+    for i, g in enumerate(graphs):
+        gid = g.graph_id if g.graph_id is not None else i
+        suffix = " directed" if g.is_directed else ""
+        lines.append(f"t # {gid}{suffix}")
+        index = {v: j for j, v in enumerate(g.vertices())}
+        for v, j in index.items():
+            lines.append(f"v {j} {g.vertex_label(v)}")
+        for u, v, label in g.edges():
+            a, b = index[u], index[v]
+            if not g.is_directed and a > b:
+                a, b = b, a
+            lines.append(f"e {a} {b} {label}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def save_graphs(graphs: Iterable[Graph], path: Union[str, os.PathLike]) -> None:
+    """Write a collection of graphs to ``path`` in the text format."""
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(dumps_graphs(graphs))
+
+
+def assign_ids(graphs: Sequence[Graph]) -> List[Graph]:
+    """Ensure every graph carries a distinct integer id.
+
+    Graphs without an id (or with duplicate ids) get their position in the
+    sequence as id.  Returns the same list for chaining; mutation is
+    in-place on the ``graph_id`` attribute only.
+    """
+    seen = set()
+    for i, g in enumerate(graphs):
+        if g.graph_id is None or g.graph_id in seen:
+            g.graph_id = i
+        seen.add(g.graph_id)
+    return list(graphs)
+
+
+def from_networkx(nx_graph, graph_id=None, vertex_label="label", edge_label="label") -> Graph:
+    """Convert an undirected ``networkx`` graph to a :class:`Graph`.
+
+    Vertex/edge labels are read from the named node/edge attributes;
+    missing attributes default to the empty string.
+    """
+    g = Graph(graph_id)
+    for v, data in nx_graph.nodes(data=True):
+        g.add_vertex(v, data.get(vertex_label, ""))
+    for u, v, data in nx_graph.edges(data=True):
+        g.add_edge(u, v, data.get(edge_label, ""))
+    return g
+
+
+def to_networkx(g: Graph, vertex_label="label", edge_label="label"):
+    """Convert a :class:`Graph` to an undirected ``networkx.Graph``."""
+    import networkx as nx
+
+    out = nx.Graph(graph_id=g.graph_id)
+    for v in g.vertices():
+        out.add_node(v, **{vertex_label: g.vertex_label(v)})
+    for u, v, label in g.edges():
+        out.add_edge(u, v, **{edge_label: label})
+    return out

@@ -1,0 +1,124 @@
+"""Label-preserving graph isomorphism.
+
+Graph edit distance is defined up to isomorphism (``ged(r, s) = 0`` iff
+``r`` is isomorphic to ``s``), so the library needs an exact isomorphism
+test.  This module implements a VF2-style backtracking search with label
+and degree pruning — more than fast enough for the molecule/protein-scale
+graphs (tens of vertices) this system targets.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional
+
+from repro.graph.graph import Graph, Vertex
+
+__all__ = ["are_isomorphic", "find_isomorphism"]
+
+
+def _signature(g: Graph, v: Vertex):
+    """A cheap vertex invariant: label plus sorted incident-edge views.
+
+    For directed graphs the out- and in-neighbourhoods are kept apart so
+    that orientation differences break the invariant.
+    """
+    out = tuple(
+        sorted((repr(el), repr(g.vertex_label(u))) for u, el in g.neighbor_items(v))
+    )
+    if not g.is_directed:
+        return (g.vertex_label(v), out)
+    incoming = tuple(
+        sorted((repr(el), repr(g.vertex_label(u))) for u, el in g.in_neighbor_items(v))
+    )
+    return (g.vertex_label(v), out, incoming)
+
+
+def find_isomorphism(r: Graph, s: Graph) -> Optional[Dict[Vertex, Vertex]]:
+    """Return a label-preserving isomorphism ``r -> s``, or ``None``.
+
+    The mapping is a bijection ``f`` with ``l_V(u) = l_V(f(u))`` for all
+    vertices and ``l_E(u, v) = l_E(f(u), f(v))`` for all edges, per the
+    paper's Section II-A definition.
+    """
+    if r.is_directed != s.is_directed:
+        return None
+    if r.num_vertices != s.num_vertices or r.num_edges != s.num_edges:
+        return None
+    if r.vertex_label_multiset() != s.vertex_label_multiset():
+        return None
+    if r.edge_label_multiset() != s.edge_label_multiset():
+        return None
+
+    r_sigs = {v: _signature(r, v) for v in r.vertices()}
+    s_sigs = {v: _signature(s, v) for v in s.vertices()}
+    if Counter(r_sigs.values()) != Counter(s_sigs.values()):
+        return None
+
+    # Candidate targets per r-vertex, rarest-first ordering helps pruning.
+    candidates: Dict[Vertex, List[Vertex]] = {
+        u: [v for v in s.vertices() if s_sigs[v] == r_sigs[u]] for u in r.vertices()
+    }
+    # Order r's vertices: fewest candidates first, preferring connectivity
+    # to already-ordered vertices (a simple static heuristic).
+    order = sorted(r.vertices(), key=lambda u: len(candidates[u]))
+
+    mapping: Dict[Vertex, Vertex] = {}
+    used = set()
+
+    def backtrack(i: int) -> bool:
+        if i == len(order):
+            return True
+        u = order[i]
+        for v in candidates[u]:
+            if v in used:
+                continue
+            ok = True
+            for u2, el in r.neighbor_items(u):
+                v2 = mapping.get(u2)
+                if v2 is not None and (not s.has_edge(v, v2) or s.edge_label(v, v2) != el):
+                    ok = False
+                    break
+            if ok and r.is_directed:
+                for u2, el in r.in_neighbor_items(u):
+                    v2 = mapping.get(u2)
+                    if v2 is not None and (
+                        not s.has_edge(v2, v) or s.edge_label(v2, v) != el
+                    ):
+                        ok = False
+                        break
+            if not ok:
+                continue
+            # Reverse check: edges in s between v and mapped vertices must
+            # exist in r (edge counts match, but check keeps pruning tight).
+            for v2, el in s.neighbor_items(v):
+                if v2 in used:
+                    u2 = next(a for a, b in mapping.items() if b == v2)
+                    if not r.has_edge(u, u2) or r.edge_label(u, u2) != el:
+                        ok = False
+                        break
+            if ok and s.is_directed:
+                for v2, el in s.in_neighbor_items(v):
+                    if v2 in used:
+                        u2 = next(a for a, b in mapping.items() if b == v2)
+                        if not r.has_edge(u2, u) or r.edge_label(u2, u) != el:
+                            ok = False
+                            break
+            if not ok:
+                continue
+            mapping[u] = v
+            used.add(v)
+            if backtrack(i + 1):
+                return True
+            del mapping[u]
+            used.remove(v)
+        return False
+
+    if backtrack(0):
+        return dict(mapping)
+    return None
+
+
+def are_isomorphic(r: Graph, s: Graph) -> bool:
+    """True iff ``r`` and ``s`` are label-preserving isomorphic."""
+    return find_isomorphism(r, s) is not None

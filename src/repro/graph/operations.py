@@ -1,0 +1,217 @@
+"""Graph edit operations.
+
+The paper defines six unit-cost edit operations (Section II-A):
+
+1. insert an isolated vertex,
+2. delete an isolated vertex,
+3. change the label of a vertex,
+4. insert an edge between two disconnected vertices,
+5. delete an edge,
+6. change the label of an edge.
+
+Each operation is a small immutable object with an :meth:`apply` method
+that mutates a graph (after checking the paper's preconditions — e.g. only
+*isolated* vertices may be deleted).  On top of these the module offers
+:func:`random_edit` and :func:`perturb`, the workhorses of the synthetic
+dataset generators and of the property-based tests: by construction,
+``ged(g, perturb(g, k)) <= k``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Sequence
+
+from repro.exceptions import GraphError
+from repro.graph.graph import Graph, Label, Vertex
+
+__all__ = [
+    "EditOperation",
+    "VertexInsertion",
+    "VertexDeletion",
+    "VertexRelabel",
+    "EdgeInsertion",
+    "EdgeDeletion",
+    "EdgeRelabel",
+    "random_edit",
+    "perturb",
+]
+
+
+class EditOperation:
+    """Base class for the six graph edit operations."""
+
+    def apply(self, g: Graph) -> None:
+        """Apply the operation to ``g`` in place.
+
+        Raises
+        ------
+        GraphError
+            If the operation's precondition does not hold on ``g``.
+        """
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class VertexInsertion(EditOperation):
+    """Insert an isolated vertex with the given label."""
+
+    vertex: Vertex
+    label: Label
+
+    def apply(self, g: Graph) -> None:
+        g.add_vertex(self.vertex, self.label)
+
+
+@dataclass(frozen=True)
+class VertexDeletion(EditOperation):
+    """Delete an *isolated* vertex (the paper's precondition)."""
+
+    vertex: Vertex
+
+    def apply(self, g: Graph) -> None:
+        if g.degree(self.vertex) != 0:
+            raise GraphError(
+                f"vertex {self.vertex!r} is not isolated; delete its edges first"
+            )
+        g.remove_vertex(self.vertex)
+
+
+@dataclass(frozen=True)
+class VertexRelabel(EditOperation):
+    """Change the label of a vertex."""
+
+    vertex: Vertex
+    label: Label
+
+    def apply(self, g: Graph) -> None:
+        g.set_vertex_label(self.vertex, self.label)
+
+
+@dataclass(frozen=True)
+class EdgeInsertion(EditOperation):
+    """Insert an edge between two currently disconnected vertices."""
+
+    u: Vertex
+    v: Vertex
+    label: Label
+
+    def apply(self, g: Graph) -> None:
+        g.add_edge(self.u, self.v, self.label)
+
+
+@dataclass(frozen=True)
+class EdgeDeletion(EditOperation):
+    """Delete an edge."""
+
+    u: Vertex
+    v: Vertex
+
+    def apply(self, g: Graph) -> None:
+        g.remove_edge(self.u, self.v)
+
+
+@dataclass(frozen=True)
+class EdgeRelabel(EditOperation):
+    """Change the label of an edge."""
+
+    u: Vertex
+    v: Vertex
+    label: Label
+
+    def apply(self, g: Graph) -> None:
+        g.set_edge_label(self.u, self.v, self.label)
+
+
+def _fresh_vertex(g: Graph) -> int:
+    """An integer vertex id not present in ``g``."""
+    candidate = g.num_vertices
+    while g.has_vertex(candidate):
+        candidate += 1
+    return candidate
+
+
+def random_edit(
+    g: Graph,
+    rng: random.Random,
+    vertex_labels: Sequence[Label],
+    edge_labels: Sequence[Label],
+) -> Optional[EditOperation]:
+    """Draw one random edit operation applicable to ``g``.
+
+    The operation kind is sampled uniformly among the kinds currently
+    applicable (e.g. vertex deletion is only offered when an isolated
+    vertex exists, edge insertion only when some vertex pair is
+    disconnected).  Relabel operations always pick a label *different*
+    from the current one so the operation is never a no-op.  Returns
+    ``None`` only in the degenerate case where no operation applies
+    (empty graph with empty label alphabets).
+    """
+    vertices = list(g.vertices())
+    edges = list(g.edges())
+    isolated = [v for v in vertices if g.degree(v) == 0]
+    n = len(vertices)
+    max_edges = n * (n - 1) if g.is_directed else n * (n - 1) // 2
+    has_missing_edge = n >= 2 and g.num_edges < max_edges
+
+    kinds: List[str] = []
+    if vertex_labels:
+        kinds.append("v_ins")
+        if len(vertex_labels) > 1 and vertices:
+            kinds.append("v_rel")
+    if isolated:
+        kinds.append("v_del")
+    if edge_labels and has_missing_edge:
+        kinds.append("e_ins")
+    if edges:
+        kinds.append("e_del")
+        if len(edge_labels) > 1:
+            kinds.append("e_rel")
+    if not kinds:
+        return None
+
+    kind = rng.choice(kinds)
+    if kind == "v_ins":
+        return VertexInsertion(_fresh_vertex(g), rng.choice(list(vertex_labels)))
+    if kind == "v_del":
+        return VertexDeletion(rng.choice(isolated))
+    if kind == "v_rel":
+        v = rng.choice(vertices)
+        choices = [l for l in vertex_labels if l != g.vertex_label(v)]
+        return VertexRelabel(v, rng.choice(choices))
+    if kind == "e_ins":
+        while True:
+            u, v = rng.sample(vertices, 2)
+            if not g.has_edge(u, v):
+                return EdgeInsertion(u, v, rng.choice(list(edge_labels)))
+    if kind == "e_del":
+        u, v, _ = rng.choice(edges)
+        return EdgeDeletion(u, v)
+    # kind == "e_rel"
+    u, v, label = rng.choice(edges)
+    choices = [l for l in edge_labels if l != label]
+    return EdgeRelabel(u, v, rng.choice(choices))
+
+
+def perturb(
+    g: Graph,
+    num_edits: int,
+    rng: random.Random,
+    vertex_labels: Sequence[Label],
+    edge_labels: Sequence[Label],
+    graph_id: Optional[Hashable] = None,
+) -> Graph:
+    """Return a copy of ``g`` with at most ``num_edits`` random edits applied.
+
+    By construction the edit distance between ``g`` and the result is at
+    most ``num_edits`` (each step applies one paper edit operation).  The
+    actual distance can be smaller if edits cancel out.
+    """
+    out = g.copy(graph_id=graph_id)
+    for _ in range(num_edits):
+        op = random_edit(out, rng, vertex_labels, edge_labels)
+        if op is None:
+            break
+        op.apply(out)
+    return out

@@ -1,0 +1,69 @@
+"""Enumeration of simple paths — the raw material of path-based q-grams.
+
+A *simple path of length q* is a sequence of ``q + 1`` distinct vertices
+connected by ``q`` edges.  A path and its reverse are the same undirected
+path; the enumerator reports each exactly once.  Canonicalization into a
+label sequence (the actual q-gram) lives in :mod:`repro.core.qgrams`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.exceptions import ParameterError
+from repro.graph.graph import Graph, Vertex
+
+__all__ = ["simple_paths", "count_simple_paths"]
+
+
+def simple_paths(g: Graph, q: int) -> Iterator[Tuple[Vertex, ...]]:
+    """Yield every simple path of length ``q`` in ``g`` exactly once.
+
+    Paths are yielded as vertex tuples ``(v_0, ..., v_q)``.  For ``q = 0``
+    every vertex forms a path by itself (the paper's 0-grams).
+
+    On undirected graphs a path and its reverse are the same object; the
+    orientation of each yielded path is fixed by requiring the start
+    vertex to precede the end vertex in ``g``'s (deterministic) vertex
+    enumeration order, which dedupes the two traversal directions.  On
+    directed graphs paths follow edge direction and each directed path
+    is inherently enumerated once.
+
+    Raises
+    ------
+    ParameterError
+        If ``q`` is negative.
+    """
+    if q < 0:
+        raise ParameterError(f"path length q must be >= 0, got {q}")
+    if q == 0:
+        for v in g.vertices():
+            yield (v,)
+        return
+
+    directed = g.is_directed
+    position = {v: i for i, v in enumerate(g.vertices())}
+    path: List[Vertex] = []
+    on_path = set()
+
+    def extend(v: Vertex) -> Iterator[Tuple[Vertex, ...]]:
+        path.append(v)
+        on_path.add(v)
+        if len(path) == q + 1:
+            # Deduplicate the two directions of the same undirected path.
+            if directed or position[path[0]] < position[path[-1]]:
+                yield tuple(path)
+        else:
+            for u in g.neighbors(v):
+                if u not in on_path:
+                    yield from extend(u)
+        on_path.remove(v)
+        path.pop()
+
+    for start in g.vertices():
+        yield from extend(start)
+
+
+def count_simple_paths(g: Graph, q: int) -> int:
+    """Number of simple paths of length ``q`` in ``g`` (the paper's |Q_r|)."""
+    return sum(1 for _ in simple_paths(g, q))

@@ -1,0 +1,67 @@
+"""Dataset-level statistics — the columns of the paper's Table I.
+
+For a collection ``R`` the paper reports: ``|R|``, average ``|V|``,
+average ``|E|``, average number of distinct vertex labels per dataset and
+distinct edge labels per dataset.  (The Table I columns ``avg |l_V|`` and
+``avg |l_E|`` are the alphabet sizes of the datasets: 44/3 for AIDS and
+3/2 for PROTEIN, i.e. distinct labels across the whole collection.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.graph.graph import Graph
+
+__all__ = ["CollectionStatistics", "collection_statistics"]
+
+
+@dataclass(frozen=True)
+class CollectionStatistics:
+    """Summary statistics of a graph collection (Table I row)."""
+
+    num_graphs: int
+    avg_vertices: float
+    avg_edges: float
+    num_vertex_labels: int
+    num_edge_labels: int
+    max_degree: int
+    avg_degree: float
+
+    def as_table_row(self, name: str) -> str:
+        """Format like a row of the paper's Table I (plus degree columns)."""
+        return (
+            f"{name:10s} |R|={self.num_graphs:<6d} avg|V|={self.avg_vertices:<6.1f} "
+            f"avg|E|={self.avg_edges:<6.1f} |l_V|={self.num_vertex_labels:<4d} "
+            f"|l_E|={self.num_edge_labels:<4d} avg deg={self.avg_degree:.2f} "
+            f"max deg={self.max_degree}"
+        )
+
+
+def collection_statistics(graphs: Sequence[Graph]) -> CollectionStatistics:
+    """Compute :class:`CollectionStatistics` for ``graphs``.
+
+    An empty collection yields all-zero statistics.
+    """
+    n = len(graphs)
+    if n == 0:
+        return CollectionStatistics(0, 0.0, 0.0, 0, 0, 0, 0.0)
+    total_v = sum(g.num_vertices for g in graphs)
+    total_e = sum(g.num_edges for g in graphs)
+    vertex_labels = set()
+    edge_labels = set()
+    max_degree = 0
+    for g in graphs:
+        vertex_labels.update(g.vertex_label_multiset())
+        edge_labels.update(g.edge_label_multiset())
+        max_degree = max(max_degree, g.max_degree())
+    return CollectionStatistics(
+        num_graphs=n,
+        avg_vertices=total_v / n,
+        avg_edges=total_e / n,
+        num_vertex_labels=len(vertex_labels),
+        num_edge_labels=len(edge_labels),
+        max_degree=max_degree,
+        avg_degree=(2.0 * total_e / total_v) if total_v else 0.0,
+    )

@@ -1,0 +1,24 @@
+"""Assignment-problem substrate: Hungarian algorithm and star bounds."""
+
+from repro.matching.hungarian import assignment_cost, hungarian
+from repro.matching.stars import (
+    Star,
+    mapping_distance,
+    star_deletion_cost,
+    star_distance,
+    star_ged_lower_bound,
+    star_multiset,
+    star_of,
+)
+
+__all__ = [
+    "hungarian",
+    "assignment_cost",
+    "Star",
+    "star_of",
+    "star_multiset",
+    "star_distance",
+    "star_deletion_cost",
+    "mapping_distance",
+    "star_ged_lower_bound",
+]

@@ -1,0 +1,104 @@
+"""The Hungarian algorithm for the assignment problem.
+
+An O(n²m) shortest-augmenting-path implementation with dual potentials
+(the "e-maxx" formulation).  It is the engine behind the star-structure
+GED bounds of the AppFull baseline (Zeng et al., VLDB'09), and is exposed
+as a general substrate.  Rectangular instances with more rows than
+columns are rejected; pad with a dummy column cost instead (the star
+bounds pad with empty stars, giving a square matrix).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.exceptions import ParameterError
+
+__all__ = ["hungarian", "assignment_cost"]
+
+_INF = float("inf")
+
+
+def hungarian(cost: Sequence[Sequence[float]]) -> Tuple[List[int], float]:
+    """Solve the minimum-cost assignment problem.
+
+    Parameters
+    ----------
+    cost:
+        An ``n x m`` matrix with ``n <= m``; ``cost[i][j]`` is the cost of
+        assigning row ``i`` to column ``j``.
+
+    Returns
+    -------
+    (assignment, total):
+        ``assignment[i]`` is the column assigned to row ``i`` (all
+        distinct), and ``total`` the minimum total cost.
+
+    Raises
+    ------
+    ParameterError
+        If the matrix is empty, ragged, or has more rows than columns.
+    """
+    n = len(cost)
+    if n == 0:
+        return [], 0.0
+    m = len(cost[0])
+    if any(len(row) != m for row in cost):
+        raise ParameterError("cost matrix is ragged")
+    if n > m:
+        raise ParameterError(f"need rows <= cols, got {n} x {m}")
+
+    # Potentials u (rows), v (cols); p[j] = row matched to column j
+    # (1-based with 0 as a virtual root); way[j] = predecessor column on
+    # the alternating path.
+    u = [0.0] * (n + 1)
+    v = [0.0] * (m + 1)
+    p = [0] * (m + 1)
+    way = [0] * (m + 1)
+
+    for i in range(1, n + 1):
+        p[0] = i
+        j0 = 0
+        minv = [_INF] * (m + 1)
+        used = [False] * (m + 1)
+        while True:
+            used[j0] = True
+            i0 = p[j0]
+            delta = _INF
+            j1 = 0
+            row = cost[i0 - 1]
+            for j in range(1, m + 1):
+                if used[j]:
+                    continue
+                cur = row[j - 1] - u[i0] - v[j]
+                if cur < minv[j]:
+                    minv[j] = cur
+                    way[j] = j0
+                if minv[j] < delta:
+                    delta = minv[j]
+                    j1 = j
+            for j in range(m + 1):
+                if used[j]:
+                    u[p[j]] += delta
+                    v[j] -= delta
+                else:
+                    minv[j] -= delta
+            j0 = j1
+            if p[j0] == 0:
+                break
+        while j0:
+            j1 = way[j0]
+            p[j0] = p[j1]
+            j0 = j1
+
+    assignment = [-1] * n
+    for j in range(1, m + 1):
+        if p[j]:
+            assignment[p[j] - 1] = j - 1
+    total = sum(cost[i][assignment[i]] for i in range(n))
+    return assignment, float(total)
+
+
+def assignment_cost(cost: Sequence[Sequence[float]]) -> float:
+    """Minimum total assignment cost (see :func:`hungarian`)."""
+    return hungarian(cost)[1]

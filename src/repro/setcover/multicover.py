@@ -1,0 +1,138 @@
+"""Bounded exact set multicover for partial-surplus minimum edits.
+
+When a q-gram key occurs ``c_r`` times in ``r`` but only ``c_s < c_r``
+times in ``s``, an edit script must affect at least ``c_r − c_s`` of its
+instances — but *which* instances is unknowable.  The sound lower bound
+on the edit operations causing the observed mismatch is therefore a
+*multicover*: pick a minimum set of vertices such that, for every
+surplus key, the picked vertices hit at least the surplus count of that
+key's instances.  (With every demand equal to the group size this
+degenerates to the plain hitting set of :mod:`repro.setcover.hitting`.)
+
+The exact solver is a depth-bounded branch-and-bound (depth ≤ cap, the
+caller's τ+1), pruned with the coverage bound ``⌈demand / max-gain⌉``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, Hashable, List, Sequence, Tuple
+
+from repro.exceptions import ParameterError
+
+__all__ = ["exact_min_multicover", "multicover_coverage_bound"]
+
+Element = Hashable
+#: One demand group: (instance vertex sets, how many must be hit).
+Group = Tuple[Sequence[FrozenSet[Element]], int]
+
+
+def _validate(groups: Sequence[Group]) -> None:
+    for instances, need in groups:
+        if need < 0:
+            raise ParameterError(f"group demand must be >= 0, got {need}")
+        if need > len(instances):
+            raise ParameterError(
+                f"group demand {need} exceeds its {len(instances)} instances"
+            )
+        for inst in instances:
+            if not inst:
+                raise ParameterError("cannot hit an empty instance")
+
+
+def _max_gain(groups: Sequence[Group], hit: List[List[bool]]) -> int:
+    """Best possible demand reduction by a single vertex."""
+    gain: Dict[Element, int] = {}
+    for gi, (instances, need) in enumerate(groups):
+        unmet = need - sum(hit[gi])
+        if unmet <= 0:
+            continue
+        per_vertex: Dict[Element, int] = {}
+        for ii, inst in enumerate(instances):
+            if hit[gi][ii]:
+                continue
+            for v in inst:
+                per_vertex[v] = per_vertex.get(v, 0) + 1
+        for v, count in per_vertex.items():
+            gain[v] = gain.get(v, 0) + min(count, unmet)
+    return max(gain.values(), default=0)
+
+
+def multicover_coverage_bound(groups: Sequence[Group]) -> int:
+    """Cheap lower bound: total demand over the best single-vertex gain."""
+    _validate(groups)
+    demand = sum(need for _, need in groups)
+    if demand == 0:
+        return 0
+    hit = [[False] * len(instances) for instances, _ in groups]
+    best = _max_gain(groups, hit)
+    if best == 0:
+        return 0
+    return math.ceil(demand / best)
+
+
+def exact_min_multicover(groups: Sequence[Group], cap: int) -> int:
+    """Exact minimum multicover size, cut off at ``cap``.
+
+    Returns the optimum when it is ``<= cap`` and ``cap + 1`` otherwise.
+
+    Raises
+    ------
+    ParameterError
+        On a negative cap, negative/unsatisfiable demands, or empty
+        instances.
+    """
+    if cap < 0:
+        raise ParameterError(f"cap must be >= 0, got {cap}")
+    _validate(groups)
+    groups = [(list(instances), need) for instances, need in groups if need > 0]
+    if not groups:
+        return 0
+
+    hit = [[False] * len(instances) for instances, _ in groups]
+    best_found = cap + 1
+
+    def remaining_demand() -> int:
+        return sum(
+            max(0, need - sum(hit[gi])) for gi, (_, need) in enumerate(groups)
+        )
+
+    def solve(budget: int, chosen: int) -> None:
+        nonlocal best_found
+        demand = remaining_demand()
+        if demand == 0:
+            best_found = min(best_found, chosen)
+            return
+        if budget == 0:
+            return
+        gain = _max_gain(groups, hit)
+        if gain == 0 or chosen + math.ceil(demand / gain) >= best_found:
+            return
+        # Branch on the group with the fewest unhit instances (smallest
+        # candidate vertex pool) among the unmet ones.
+        target = None
+        target_pool: List[Element] = []
+        for gi, (instances, need) in enumerate(groups):
+            if sum(hit[gi]) >= need:
+                continue
+            pool = sorted(
+                {v for ii, inst in enumerate(instances) if not hit[gi][ii] for v in inst},
+                key=repr,
+            )
+            if target is None or len(pool) < len(target_pool):
+                target, target_pool = gi, pool
+        for v in target_pool:
+            flipped: List[Tuple[int, int]] = []
+            for gi, (instances, _) in enumerate(groups):
+                for ii, inst in enumerate(instances):
+                    if not hit[gi][ii] and v in inst:
+                        hit[gi][ii] = True
+                        flipped.append((gi, ii))
+            solve(budget - 1, chosen + 1)
+            for gi, ii in flipped:
+                hit[gi][ii] = False
+            if best_found <= chosen + 1:
+                break
+
+    solve(cap, 0)
+    return best_found

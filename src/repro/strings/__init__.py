@@ -1,0 +1,42 @@
+"""String similarity joins — the intellectual substrate of GSimJoin.
+
+The paper's opening move (Section II-B) is to port the q-gram framework
+of string similarity joins to graphs: count filtering comes from
+Gravano et al. (VLDB'01), prefix filtering from Chaudhuri et al. /
+All-Pairs, and mismatch-driven prefix reduction from Ed-Join (Xiao et
+al., VLDB'08) — the direct ancestor of the paper's minimum edit
+filtering.  This package implements that string machinery from scratch,
+both as a usable string-join library and as the reference point the
+graph algorithms generalize:
+
+* :func:`edit_distance` / :func:`edit_distance_within` — Levenshtein
+  distance, with Ukkonen's banded DP for thresholded queries;
+* :func:`positional_qgrams` — string q-grams with positions (the
+  feature that makes string mismatch reasoning *easy*: footnote 2 of
+  the paper notes graph q-grams lack positions, which is exactly where
+  the graph version becomes NP-hard);
+* :func:`min_edits_destroying` — Ed-Join's location-based lower bound:
+  the minimum edits destroying a set of positional q-grams is a greedy
+  interval-stabbing computation, polynomial where the graph analogue
+  (Theorem 2) is a hitting set;
+* :func:`string_join` — count + prefix + location filtering with
+  banded-DP verification, mirroring Algorithm 1's structure.
+"""
+
+from repro.strings.edit_distance import edit_distance, edit_distance_within
+from repro.strings.join import StringJoinStatistics, string_join
+from repro.strings.qgrams import (
+    min_edits_destroying,
+    min_prefix_length_strings,
+    positional_qgrams,
+)
+
+__all__ = [
+    "edit_distance",
+    "edit_distance_within",
+    "positional_qgrams",
+    "min_edits_destroying",
+    "min_prefix_length_strings",
+    "string_join",
+    "StringJoinStatistics",
+]

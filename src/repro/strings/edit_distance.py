@@ -1,0 +1,86 @@
+"""String (Levenshtein) edit distance.
+
+Two entry points: the classic O(nm) dynamic program and Ukkonen's
+banded variant for thresholded queries — O(τ·min(n, m)) time, the
+string counterpart of the graph side's threshold-bounded A*.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ParameterError
+
+__all__ = ["edit_distance", "edit_distance_within"]
+
+
+def edit_distance(a: str, b: str) -> int:
+    """Levenshtein distance between ``a`` and ``b``.
+
+    Unit costs for insertion, deletion and substitution; two-row DP.
+    """
+    if len(a) < len(b):
+        a, b = b, a
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, ch_a in enumerate(a, start=1):
+        current = [i] + [0] * len(b)
+        for j, ch_b in enumerate(b, start=1):
+            cost = 0 if ch_a == ch_b else 1
+            current[j] = min(
+                previous[j] + 1,  # delete from a
+                current[j - 1] + 1,  # insert into a
+                previous[j - 1] + cost,  # substitute / match
+            )
+        previous = current
+    return previous[-1]
+
+
+def edit_distance_within(a: str, b: str, tau: int) -> int:
+    """Thresholded distance: exact when ``<= tau``, else ``tau + 1``.
+
+    Ukkonen's banding: cells further than ``tau`` from the diagonal can
+    never contribute to a distance ``<= tau``, so only a ``2τ+1``-wide
+    band is evaluated, with early exit when a whole band row exceeds
+    ``tau``.
+
+    Raises
+    ------
+    ParameterError
+        If ``tau`` is negative.
+    """
+    if tau < 0:
+        raise ParameterError(f"tau must be >= 0, got {tau}")
+    if len(a) < len(b):
+        a, b = b, a
+    n, m = len(a), len(b)
+    if n - m > tau:
+        return tau + 1
+    if m == 0:
+        return n if n <= tau else tau + 1
+
+    big = tau + 1
+    previous = [j if j <= tau else big for j in range(m + 1)]
+    for i in range(1, n + 1):
+        lo = max(1, i - tau)
+        hi = min(m, i + tau)
+        current = [big] * (m + 1)
+        if i <= tau:
+            current[0] = i
+        row_min = current[0] if i <= tau else big
+        ch_a = a[i - 1]
+        for j in range(lo, hi + 1):
+            cost = 0 if ch_a == b[j - 1] else 1
+            best = previous[j - 1] + cost
+            if previous[j] + 1 < best:
+                best = previous[j] + 1
+            if current[j - 1] + 1 < best:
+                best = current[j - 1] + 1
+            if best > big:
+                best = big
+            current[j] = best
+            if best < row_min:
+                row_min = best
+        if row_min > tau:
+            return tau + 1
+        previous = current
+    return previous[m] if previous[m] <= tau else tau + 1

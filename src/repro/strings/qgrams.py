@@ -1,0 +1,149 @@
+"""Positional string q-grams and Ed-Join's location-based reasoning.
+
+A string's q-grams are its overlapping substrings of length ``q``, each
+tagged with its starting position — positions are what make string
+mismatch analysis tractable: the minimum number of edit operations
+destroying a set of positional q-grams is a *stabbing* problem over the
+intervals ``[pos, pos+q−1]``, solved exactly by the classic greedy
+sweep (sort by right endpoint, stab greedily).  The graph analogue
+(paper Theorem 2) loses the positions and becomes an NP-hard hitting
+set — this module is the polynomial reference point.
+
+One edit operation affects at most ``q`` q-grams (it touches one
+position, which lies in at most ``q`` windows), giving the string count
+filtering bound ``(|s| − q + 1) − τ·q`` of Gravano et al.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "positional_qgrams",
+    "positional_common_count",
+    "min_edits_destroying",
+    "min_prefix_length_strings",
+]
+
+#: A positional q-gram: (substring, starting position).
+PositionalQGram = Tuple[str, int]
+
+
+def positional_qgrams(s: str, q: int) -> List[PositionalQGram]:
+    """All overlapping q-grams of ``s`` with their starting positions.
+
+    Strings shorter than ``q`` have no q-grams (callers handle the
+    underflow exactly like gram-less graphs).
+
+    Raises
+    ------
+    ParameterError
+        If ``q < 1``.
+    """
+    if q < 1:
+        raise ParameterError(f"q must be >= 1 for strings, got {q}")
+    return [(s[i : i + q], i) for i in range(len(s) - q + 1)]
+
+
+def positional_common_count(
+    grams_a: Sequence[PositionalQGram],
+    grams_b: Sequence[PositionalQGram],
+    tau: int,
+) -> int:
+    """Maximum matching of equal q-grams whose positions differ ≤ ``tau``.
+
+    Gravano et al.'s *position filtering*: within edit distance ``τ``, a
+    surviving q-gram shifts by at most ``τ`` positions, so only
+    position-compatible matches count toward the common-gram bound.
+    Per substring the maximum matching between two sorted position
+    lists under a band constraint is computed by the classic greedy
+    two-pointer sweep (optimal for interval-compatibility bipartite
+    matching on lines).
+
+    Raises
+    ------
+    ParameterError
+        If ``tau`` is negative.
+    """
+    if tau < 0:
+        raise ParameterError(f"tau must be >= 0, got {tau}")
+    by_key_a: dict = {}
+    for key, pos in grams_a:
+        by_key_a.setdefault(key, []).append(pos)
+    by_key_b: dict = {}
+    for key, pos in grams_b:
+        by_key_b.setdefault(key, []).append(pos)
+
+    total = 0
+    for key, positions_a in by_key_a.items():
+        positions_b = by_key_b.get(key)
+        if not positions_b:
+            continue
+        positions_a.sort()
+        positions_b.sort()
+        i = j = 0
+        while i < len(positions_a) and j < len(positions_b):
+            delta = positions_a[i] - positions_b[j]
+            if abs(delta) <= tau:
+                total += 1
+                i += 1
+                j += 1
+            elif delta > tau:
+                j += 1
+            else:
+                i += 1
+    return total
+
+
+def min_edits_destroying(grams: Sequence[PositionalQGram], q: int) -> int:
+    """Minimum edit operations affecting every q-gram in ``grams``.
+
+    Each gram at position ``p`` occupies the interval ``[p, p+q−1]``;
+    an edit at position ``x`` destroys the grams whose interval contains
+    ``x``.  The minimum number of stabbing points is computed by the
+    greedy right-endpoint sweep — exact in O(k log k), in contrast to
+    the NP-hard graph version (:mod:`repro.core.minedit`).
+    """
+    if not grams:
+        return 0
+    intervals = sorted((pos + q - 1, pos) for _, pos in grams)
+    count = 0
+    last_stab = None
+    for right, left in intervals:
+        if last_stab is None or last_stab < left:
+            count += 1
+            last_stab = right
+    return count
+
+
+def min_prefix_length_strings(
+    sorted_grams: Sequence[PositionalQGram], tau: int, q: int
+) -> Optional[int]:
+    """Ed-Join's location-based prefix length.
+
+    Given the string's q-grams sorted in the global (document
+    frequency) order, returns the smallest prefix needing ``τ + 1``
+    edits to destroy — the string original of the paper's Algorithm 4.
+    Unlike the graph case no binary search with approximate bounds is
+    needed: the exact measure is cheap, so the scan is direct.  Returns
+    ``None`` when even the longest admissible prefix is destroyable
+    with ``τ`` edits (*underflow* — prefix filtering cannot prune this
+    string, exactly like gram-poor graphs).
+
+    Raises
+    ------
+    ParameterError
+        If ``tau`` is negative.
+    """
+    if tau < 0:
+        raise ParameterError(f"tau must be >= 0, got {tau}")
+    basic = tau * q + 1
+    limit = min(basic, len(sorted_grams))
+    # Exact measure is monotone in the prefix, so binary search applies;
+    # prefixes are tiny (<= tau*q + 1), a linear scan is simplest.
+    for length in range(tau + 1, limit + 1):
+        if min_edits_destroying(sorted_grams[:length], q) > tau:
+            return length
+    return None

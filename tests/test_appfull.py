@@ -1,0 +1,64 @@
+"""Tests for the AppFull (star-bound) baseline."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro import naive_join
+from repro.baselines import appfull_bounds, appfull_join
+from repro.datasets import figure1_graphs
+from repro.exceptions import ParameterError
+from repro.ged import graph_edit_distance
+
+from .conftest import graph_pairs_within, path_graph
+from .test_join import molecule_collection
+
+
+class TestBounds:
+    def test_identical_graphs(self):
+        g = path_graph(["A", "B", "C"])
+        bounds = appfull_bounds(g, g.copy())
+        assert bounds.lower_bound == 0
+        assert bounds.upper_bound == 0
+
+    def test_figure1_brackets_ged(self):
+        r, s = figure1_graphs()
+        bounds = appfull_bounds(r, s)
+        assert bounds.lower_bound <= 3 <= bounds.upper_bound
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph_pairs_within(tau_max=2, max_vertices=4))
+    def test_bounds_always_bracket(self, pair):
+        r, s, _ = pair
+        ged = graph_edit_distance(r, s)
+        bounds = appfull_bounds(r, s)
+        assert bounds.lower_bound <= ged <= bounds.upper_bound
+
+
+class TestJoin:
+    def test_missing_ids_rejected(self):
+        with pytest.raises(ParameterError):
+            appfull_join([path_graph(["A"])], tau=1)
+
+    def test_negative_tau_rejected(self):
+        with pytest.raises(ParameterError):
+            appfull_join([], tau=-1)
+
+    @pytest.mark.parametrize("tau", [0, 1, 2])
+    def test_matches_naive_with_verification(self, tau):
+        graphs = molecule_collection(18, seed=tau + 60)
+        expected = naive_join(graphs, tau, use_size_filter=False).pair_set()
+        assert appfull_join(graphs, tau, verify=True).pair_set() == expected
+
+    def test_without_verification_results_are_subset(self):
+        graphs = molecule_collection(18, seed=64)
+        full = appfull_join(graphs, 2, verify=True)
+        partial = appfull_join(graphs, 2, verify=False)
+        assert partial.pair_set() <= full.pair_set()
+        # Every accepted-without-verification pair is certain.
+        assert len(full.pair_set() - partial.pair_set()) <= partial.stats.cand2
+
+    def test_nested_loop_considers_all_pairs(self):
+        graphs = molecule_collection(10, seed=65)
+        st = appfull_join(graphs, 1).stats
+        n = len(graphs)
+        assert st.cand1 == n * (n - 1) // 2

@@ -1,0 +1,121 @@
+"""Tests for the clustering and classification applications."""
+
+import random
+
+import pytest
+
+from repro import GSimJoinOptions, assign_ids
+from repro.applications import GedKnnClassifier, cluster_medoid, threshold_clusters
+from repro.exceptions import ParameterError
+from repro.ged import graph_edit_distance
+from repro.graph.generators import random_molecule
+from repro.graph.operations import perturb
+
+from .conftest import path_graph
+from .test_join import molecule_collection
+
+
+def planted_clusters(num_clusters=3, size=4, seed=9):
+    """Clusters of near-duplicates far apart from each other."""
+    rng = random.Random(seed)
+    graphs, truth = [], []
+    for c in range(num_clusters):
+        base = random_molecule(rng, 10 + 6 * c)  # size gaps keep clusters apart
+        for _ in range(size):
+            clone = perturb(base, 1, rng, ["C", "N", "O"], ["-", "="])
+            graphs.append(clone)
+            truth.append(c)
+    order = list(range(len(graphs)))
+    rng.shuffle(order)
+    graphs = [graphs[i] for i in order]
+    truth = [truth[i] for i in order]
+    return assign_ids(graphs), truth
+
+
+class TestThresholdClusters:
+    def test_min_size_validation(self):
+        with pytest.raises(ParameterError):
+            threshold_clusters([], tau=1, min_size=0)
+
+    def test_recovers_planted_clusters(self):
+        graphs, truth = planted_clusters()
+        clusters = threshold_clusters(
+            graphs, tau=2, options=GSimJoinOptions.full(q=2), min_size=2
+        )
+        assert len(clusters) == 3
+        label_of = dict(zip((g.graph_id for g in graphs), truth))
+        for members in clusters:
+            labels = {label_of[g.graph_id] for g in members}
+            assert len(labels) == 1  # no cluster mixes families
+
+    def test_singletons_included_by_default(self):
+        graphs = molecule_collection(10, seed=30, cluster=False)
+        clusters = threshold_clusters(graphs, tau=0, options=GSimJoinOptions.full(q=2))
+        assert sum(len(c) for c in clusters) == len(graphs)
+
+    def test_sorted_largest_first(self):
+        graphs, _ = planted_clusters(num_clusters=2, size=3)
+        extra = path_graph(["C", "C"], graph_id="loner")
+        clusters = threshold_clusters(
+            graphs + [extra], tau=2, options=GSimJoinOptions.full(q=2)
+        )
+        sizes = [len(c) for c in clusters]
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestClusterMedoid:
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            cluster_medoid([])
+
+    def test_singleton(self):
+        g = path_graph(["A"], graph_id=0)
+        assert cluster_medoid([g]) is g
+
+    def test_medoid_minimizes_total_distance(self):
+        graphs, _ = planted_clusters(num_clusters=1, size=4)
+        medoid = cluster_medoid(graphs)
+        totals = {
+            g.graph_id: sum(
+                graph_edit_distance(g, o) for o in graphs if o is not g
+            )
+            for g in graphs
+        }
+        assert totals[medoid.graph_id] == min(totals.values())
+
+
+class TestKnnClassifier:
+    def test_k_validation(self):
+        with pytest.raises(ParameterError):
+            GedKnnClassifier(k=0)
+
+    def test_fit_length_mismatch(self):
+        clf = GedKnnClassifier()
+        with pytest.raises(ParameterError, match="labels"):
+            clf.fit([path_graph(["A"], graph_id=0)], ["x", "y"])
+
+    def test_classifies_planted_families(self):
+        graphs, truth = planted_clusters(num_clusters=3, size=5, seed=21)
+        train_g, train_y = graphs[:-3], truth[:-3]
+        test_g, test_y = graphs[-3:], truth[-3:]
+        clf = GedKnnClassifier(k=3, tau_max=4, options=GSimJoinOptions.full(q=2))
+        clf.fit(train_g, train_y)
+        assert len(clf) == len(train_g)
+        predictions = clf.predict_many(test_g)
+        assert predictions == test_y
+
+    def test_default_label_when_isolated(self):
+        graphs, truth = planted_clusters(num_clusters=1, size=3, seed=22)
+        clf = GedKnnClassifier(k=1, tau_max=1, default_label="unknown")
+        clf.fit(graphs, truth)
+        far = path_graph(["Zz"] * 30, graph_id="far-away")
+        assert clf.predict(far) == "unknown"
+
+    def test_neighbors_exposed(self):
+        graphs, truth = planted_clusters(num_clusters=1, size=4, seed=23)
+        clf = GedKnnClassifier(k=2, tau_max=3, options=GSimJoinOptions.full(q=2))
+        clf.fit(graphs[:-1], truth[:-1])
+        found = clf.neighbors(graphs[-1])
+        assert 1 <= len(found) <= 2
+        for _, distance in found:
+            assert distance <= 3

@@ -1,0 +1,126 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import aids_like
+from repro.graph import save_graphs
+
+from .conftest import path_graph
+
+
+@pytest.fixture
+def collection_file(tmp_path):
+    graphs = aids_like(num_graphs=15, seed=4)
+    path = tmp_path / "graphs.txt"
+    save_graphs(graphs, path)
+    return str(path)
+
+
+@pytest.fixture
+def tiny_file(tmp_path):
+    a = path_graph(["C", "C", "O"], graph_id=0)
+    b = path_graph(["C", "C", "N"], graph_id=1)
+    path = tmp_path / "tiny.txt"
+    save_graphs([a, b], path)
+    return str(path)
+
+
+class TestJoinCommand:
+    def test_join_runs_and_prints_pairs(self, collection_file, capsys):
+        code = main(["join", collection_file, "--tau", "2"])
+        assert code == 0
+        out = capsys.readouterr()
+        assert "results=" in out.err  # summary on stderr
+        for line in out.out.splitlines():
+            a, b = line.split("\t")
+            assert a != b
+
+    def test_join_quiet(self, collection_file, capsys):
+        assert main(["join", collection_file, "--tau", "1", "--quiet"]) == 0
+        assert "results=" not in capsys.readouterr().err
+
+    @pytest.mark.parametrize("algorithm", ["kat", "appfull", "naive"])
+    def test_join_baselines_agree(self, tiny_file, capsys, algorithm):
+        main(["join", tiny_file, "--tau", "1", "--quiet"])
+        expected = capsys.readouterr().out
+        main(["join", tiny_file, "--tau", "1", "--quiet", "--algorithm", algorithm])
+        assert capsys.readouterr().out == expected
+
+    def test_join_variants(self, tiny_file, capsys):
+        for variant in ("basic", "minedit", "full"):
+            assert main(
+                ["join", tiny_file, "--tau", "1", "--variant", variant, "--quiet"]
+            ) == 0
+
+    def test_missing_file_reports_error(self, capsys):
+        assert main(["stats", "/nonexistent/file.txt"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_empty_collection_is_error(self, tmp_path, capsys):
+        empty = tmp_path / "empty.txt"
+        empty.write_text("")
+        assert main(["join", str(empty), "--tau", "1"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestGedCommand:
+    def test_ged_by_id(self, tiny_file, capsys):
+        assert main(["ged", tiny_file, "0", "1"]) == 0
+        assert capsys.readouterr().out.strip() == "1"
+
+    def test_ged_with_threshold_exceeded(self, tiny_file, capsys):
+        assert main(["ged", tiny_file, "0", "1", "--tau", "0"]) == 0
+        assert capsys.readouterr().out.strip() == "> 0"
+
+    def test_unknown_id_is_error(self, tiny_file, capsys):
+        assert main(["ged", tiny_file, "0", "99"]) == 1
+        assert "no graph with id" in capsys.readouterr().err
+
+
+class TestStatsCommand:
+    def test_stats_prints_row(self, collection_file, capsys):
+        assert main(["stats", collection_file]) == 0
+        out = capsys.readouterr().out
+        assert "|R|=15" in out
+
+
+class TestGenerateCommand:
+    @pytest.mark.parametrize("kind", ["aids", "protein"])
+    def test_generate_roundtrip(self, tmp_path, capsys, kind):
+        out = tmp_path / "gen.txt"
+        assert main(
+            ["generate", "--kind", kind, "--n", "8", "--seed", "3", "-o", str(out)]
+        ) == 0
+        assert main(["stats", str(out)]) == 0
+        assert "|R|=8" in capsys.readouterr().out
+
+
+class TestCliExtensions:
+    def test_join_with_workers(self, tiny_file, capsys):
+        main(["join", tiny_file, "--tau", "1", "--quiet"])
+        expected = capsys.readouterr().out
+        assert main(
+            ["join", tiny_file, "--tau", "1", "--quiet", "--workers", "2"]
+        ) == 0
+        assert capsys.readouterr().out == expected
+
+    def test_gxl_collection(self, tmp_path, capsys):
+        from repro.datasets import figure1_graphs
+        from repro.graph.gxl import save_gxl
+
+        path = tmp_path / "mol.gxl"
+        save_gxl(list(figure1_graphs()), path)
+        assert main(["stats", str(path)]) == 0
+        assert "|R|=2" in capsys.readouterr().out
+
+    def test_join_json_output(self, tiny_file, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "result.json"
+        assert main(
+            ["join", tiny_file, "--tau", "1", "--quiet", "--json", str(out)]
+        ) == 0
+        data = json.loads(out.read_text())
+        assert data["stats"]["tau"] == 1
+        assert isinstance(data["pairs"], list)

@@ -1,0 +1,78 @@
+"""Tests for the synthetic dataset builders and paper-figure graphs."""
+
+import pytest
+
+from repro.datasets import aids_like, figure1_graphs, figure4_graphs, protein_like
+from repro.exceptions import ParameterError
+from repro.graph import collection_statistics
+
+
+class TestAidsLike:
+    def test_deterministic_by_seed(self):
+        a = aids_like(num_graphs=20, seed=5)
+        b = aids_like(num_graphs=20, seed=5)
+        assert all(x == y for x, y in zip(a, b))
+
+    def test_different_seed_differs(self):
+        a = aids_like(num_graphs=20, seed=5)
+        b = aids_like(num_graphs=20, seed=6)
+        assert any(x != y for x, y in zip(a, b))
+
+    def test_matches_table1_profile(self):
+        stats = collection_statistics(aids_like(num_graphs=120, seed=1))
+        assert stats.num_graphs == 120
+        assert 20 <= stats.avg_vertices <= 32  # paper: 25.6
+        assert stats.avg_edges >= stats.avg_vertices - 1  # paper: 27.5
+        assert stats.avg_edges <= stats.avg_vertices * 1.4
+        assert stats.num_edge_labels <= 3
+        assert stats.avg_degree < 3.0  # sparse
+
+    def test_ids_distinct(self):
+        graphs = aids_like(num_graphs=30, seed=2)
+        ids = [g.graph_id for g in graphs]
+        assert len(set(ids)) == len(ids)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            aids_like(num_graphs=0)
+        with pytest.raises(ParameterError):
+            aids_like(num_graphs=10, cluster_fraction=1.5)
+
+
+class TestProteinLike:
+    def test_matches_table1_profile(self):
+        stats = collection_statistics(protein_like(num_graphs=60, seed=1))
+        assert stats.num_graphs == 60
+        assert 24 <= stats.avg_vertices <= 42  # paper: 32.6
+        assert 3.0 <= stats.avg_degree <= 4.6  # paper: ~3.8 -> dense
+        assert stats.num_vertex_labels <= 3
+        assert stats.num_edge_labels <= 2
+
+    def test_denser_than_aids(self):
+        aids = collection_statistics(aids_like(num_graphs=40, seed=3))
+        prot = collection_statistics(protein_like(num_graphs=40, seed=3))
+        assert prot.avg_degree > aids.avg_degree
+
+    def test_deterministic_by_seed(self):
+        a = protein_like(num_graphs=10, seed=9)
+        b = protein_like(num_graphs=10, seed=9)
+        assert all(x == y for x, y in zip(a, b))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            protein_like(num_graphs=-1)
+
+
+class TestPaperFigures:
+    def test_figure1_shapes(self):
+        r, s = figure1_graphs()
+        assert (r.num_vertices, r.num_edges) == (4, 4)
+        assert (s.num_vertices, s.num_edges) == (5, 5)
+        assert r.vertex_label_multiset() == {"C": 3, "O": 1}
+        assert s.vertex_label_multiset() == {"C": 3, "O": 1, "N": 1}
+
+    def test_figure4_shapes(self):
+        r, s = figure4_graphs()
+        assert (r.num_vertices, r.num_edges) == (7, 7)
+        assert (s.num_vertices, s.num_edges) == (8, 8)
+        assert s.vertex_label_multiset()["N"] == 1

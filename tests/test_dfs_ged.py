@@ -1,0 +1,124 @@
+"""Tests for the depth-first branch-and-bound GED verifier."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.datasets import figure1_graphs
+from repro.exceptions import ParameterError
+from repro.ged import (
+    brute_force_ged,
+    dfs_ged,
+    graph_edit_distance,
+    label_heuristic,
+    zero_heuristic,
+)
+from repro.graph.graph import Graph
+
+from .conftest import graph_pairs_within, path_graph
+from .test_directed import digraph, digraph_pairs_within
+
+
+class TestBasics:
+    def test_identical_graphs(self):
+        g = path_graph(["A", "B", "C"])
+        assert dfs_ged(g, g.copy()).distance == 0
+
+    def test_figure1(self):
+        r, s = figure1_graphs()
+        result = dfs_ged(r, s)
+        assert result.distance == 3
+        assert not result.exceeded_threshold
+        assert result.expanded > 0
+
+    def test_empty_graphs(self):
+        assert dfs_ged(Graph(), Graph()).distance == 0
+        assert dfs_ged(Graph(), path_graph(["A", "B"])).distance == 3
+
+    def test_threshold_contract(self):
+        r, s = figure1_graphs()
+        assert dfs_ged(r, s, threshold=3).distance == 3
+        below = dfs_ged(r, s, threshold=2)
+        assert below.distance == 3  # tau + 1
+        assert below.exceeded_threshold
+
+    def test_invalid_parameters(self):
+        g = path_graph(["A", "B"])
+        with pytest.raises(ParameterError):
+            dfs_ged(g, g, threshold=-1)
+        with pytest.raises(ParameterError, match="permutation"):
+            dfs_ged(g, g, vertex_order=[0])
+
+    def test_mixed_directedness_rejected(self):
+        d = digraph(["A"], [])
+        u = Graph()
+        u.add_vertex(0, "A")
+        with pytest.raises(ParameterError, match="directed"):
+            dfs_ged(d, u)
+
+    def test_explicit_upper_bound_used(self):
+        r, s = figure1_graphs()
+        assert dfs_ged(r, s, initial_upper_bound=3).distance == 3
+        # A loose bound must not change the answer.
+        assert dfs_ged(r, s, initial_upper_bound=50).distance == 3
+
+
+class TestAgainstAStar:
+    @settings(max_examples=40, deadline=None)
+    @given(graph_pairs_within(tau_max=3, max_vertices=4))
+    def test_matches_brute_force(self, pair):
+        r, s, _ = pair
+        assert dfs_ged(r, s).distance == brute_force_ged(r, s)
+
+    @settings(max_examples=25, deadline=None)
+    @given(graph_pairs_within(tau_max=2, max_vertices=4))
+    def test_matches_astar_with_threshold(self, pair):
+        r, s, _ = pair
+        for tau in (0, 1, 2):
+            assert (
+                dfs_ged(r, s, threshold=tau).distance
+                == graph_edit_distance(r, s, threshold=tau)
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph_pairs_within(tau_max=2, max_vertices=4))
+    def test_heuristic_choice_does_not_change_answer(self, pair):
+        r, s, _ = pair
+        assert (
+            dfs_ged(r, s, heuristic=zero_heuristic).distance
+            == dfs_ged(r, s, heuristic=label_heuristic).distance
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(digraph_pairs_within(tau_max=2, max_vertices=4))
+    def test_directed_graphs(self, pair):
+        r, s, _ = pair
+        assert dfs_ged(r, s).distance == brute_force_ged(r, s)
+
+
+class TestDfsAsJoinVerifier:
+    def test_join_with_dfs_verifier(self):
+        import dataclasses
+
+        from repro import GSimJoinOptions, gsim_join
+
+        from .test_join import molecule_collection
+
+        graphs = molecule_collection(16, seed=80)
+        astar = gsim_join(graphs, tau=2, options=GSimJoinOptions.full(q=3))
+        dfs_options = dataclasses.replace(
+            GSimJoinOptions.full(q=3), verifier="dfs"
+        )
+        dfs = gsim_join(graphs, tau=2, options=dfs_options)
+        assert dfs.pair_set() == astar.pair_set()
+
+    def test_unknown_verifier_rejected(self):
+        import dataclasses
+
+        from repro import GSimJoinOptions, gsim_join
+
+        from .test_join import molecule_collection
+
+        graphs = molecule_collection(4, seed=81)
+        bad = dataclasses.replace(GSimJoinOptions.full(q=1), verifier="nope")
+        with pytest.raises(ParameterError, match="unknown verifier"):
+            gsim_join(graphs, tau=1, options=bad)

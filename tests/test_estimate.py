@@ -1,0 +1,55 @@
+"""Tests for sampling-based join-size estimation."""
+
+import pytest
+
+from repro import gsim_join
+from repro.core.estimate import estimate_join_size
+from repro.exceptions import ParameterError
+
+from .test_join import molecule_collection
+
+
+class TestEstimateJoinSize:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            estimate_join_size([], tau=-1)
+        with pytest.raises(ParameterError):
+            estimate_join_size([], tau=1, sample_pairs=0)
+
+    def test_empty_and_singleton(self):
+        assert estimate_join_size([], tau=1).estimate == 0.0
+        graphs = molecule_collection(1, seed=1, cluster=False)
+        assert estimate_join_size(graphs, tau=1).total_pairs == 0
+
+    def test_small_space_is_exact(self):
+        graphs = molecule_collection(16, seed=2)
+        exact = gsim_join(graphs, tau=2).stats.results
+        est = estimate_join_size(graphs, tau=2, sample_pairs=200)
+        assert est.sampled == est.total_pairs  # exhaustive branch
+        assert est.estimate == exact
+        assert est.low == est.high == exact
+
+    def test_sampling_brackets_truth(self):
+        graphs = molecule_collection(60, seed=3)
+        exact = gsim_join(graphs, tau=2).stats.results
+        est = estimate_join_size(graphs, tau=2, sample_pairs=300, seed=5)
+        assert est.sampled == 300
+        assert est.low <= exact <= est.high or abs(est.estimate - exact) <= exact
+        assert est.total_pairs == 60 * 59 // 2
+
+    def test_deterministic_by_seed(self):
+        graphs = molecule_collection(60, seed=4)
+        a = estimate_join_size(graphs, tau=1, sample_pairs=150, seed=9)
+        b = estimate_join_size(graphs, tau=1, sample_pairs=150, seed=9)
+        assert a == b
+
+    def test_bounds_short_circuit_most_pairs(self):
+        graphs = molecule_collection(60, seed=6)
+        est = estimate_join_size(graphs, tau=1, sample_pairs=200, seed=7)
+        # Random pairs rarely need the exact verifier.
+        assert est.exact_ged_calls <= est.sampled * 0.2
+
+    def test_str_rendering(self):
+        graphs = molecule_collection(12, seed=8)
+        text = str(estimate_join_size(graphs, tau=1))
+        assert "pairs" in text and "CI" in text

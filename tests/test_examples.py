@@ -1,0 +1,57 @@
+"""Smoke tests: the example scripts must run end-to-end.
+
+Each example is executed in-process (``runpy``) with stdout captured;
+the assertions check the headline outputs, not timings.  The slowest
+examples are exercised through their building blocks elsewhere and get
+a lighter touch here.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    sys.argv = [name]
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_filter_anatomy(capsys):
+    out = run_example("filter_anatomy.py", capsys)
+    assert "Count filtering (Example 4): need >= 2 common q-grams" in out
+    assert "distance=3" in out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "ged(cyclopropanone, 2-aminocyclopropanol) = 3" in out
+    assert "Join found" in out
+
+
+@pytest.mark.slow
+def test_workflow_versions(capsys):
+    out = run_example("workflow_versions.py", capsys)
+    assert "ged(read->write, write->read) = 2" in out
+
+
+@pytest.mark.slow
+def test_chemical_deduplication(capsys):
+    out = run_example("chemical_deduplication.py", capsys)
+    assert "duplicate clusters" in out
+
+
+@pytest.mark.slow
+def test_molecule_classification(capsys):
+    out = run_example("molecule_classification.py", capsys)
+    assert "NN accuracy" in out
+
+
+@pytest.mark.slow
+def test_protein_structure_search(capsys):
+    out = run_example("protein_structure_search.py", capsys)
+    assert "matches" in out

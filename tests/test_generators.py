@@ -1,0 +1,112 @@
+"""Tests for single-graph generators and collection statistics."""
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.graph import collection_statistics
+from repro.graph.generators import (
+    random_labeled_graph,
+    random_molecule,
+    random_protein,
+)
+from repro.graph.graph import Graph
+
+from .conftest import build_graph
+
+
+class TestRandomMolecule:
+    def test_size(self, rng):
+        g = random_molecule(rng, 20)
+        assert g.num_vertices == 20
+        assert g.num_edges >= 19  # at least a spanning tree
+
+    def test_connected(self, rng):
+        g = random_molecule(rng, 15)
+        assert len(g.connected_components()) == 1
+
+    def test_respects_max_degree(self, rng):
+        for _ in range(10):
+            g = random_molecule(rng, 12, max_degree=3)
+            assert g.max_degree() <= 3
+
+    def test_single_vertex(self, rng):
+        g = random_molecule(rng, 1)
+        assert g.num_vertices == 1 and g.num_edges == 0
+
+    def test_invalid_parameters(self, rng):
+        with pytest.raises(ParameterError):
+            random_molecule(rng, 0)
+        with pytest.raises(ParameterError):
+            random_molecule(rng, 5, max_degree=0)
+
+    def test_carbon_dominates(self, rng):
+        g = random_molecule(rng, 200)
+        labels = g.vertex_label_multiset()
+        assert labels.most_common(1)[0][0] == "C"
+
+
+class TestRandomProtein:
+    def test_size_and_backbone(self, rng):
+        g = random_protein(rng, 25)
+        assert g.num_vertices == 25
+        for v in range(24):
+            assert g.edge_label(v, v + 1) == "seq"
+
+    def test_density_close_to_target(self, rng):
+        total_deg = 0
+        total_v = 0
+        for _ in range(10):
+            g = random_protein(rng, 30, avg_degree=3.8)
+            total_deg += 2 * g.num_edges
+            total_v += g.num_vertices
+        assert 3.2 <= total_deg / total_v <= 4.2
+
+    def test_labels_from_alphabet(self, rng):
+        g = random_protein(rng, 20)
+        assert set(g.vertex_label_multiset()) <= {"helix", "sheet", "loop"}
+        assert set(g.edge_label_multiset()) <= {"seq", "space"}
+
+    def test_invalid_size(self, rng):
+        with pytest.raises(ParameterError):
+            random_protein(rng, 0)
+
+
+class TestRandomLabeledGraph:
+    def test_exact_counts(self, rng):
+        g = random_labeled_graph(rng, 6, 7, ["A"], ["x"])
+        assert g.num_vertices == 6 and g.num_edges == 7
+
+    def test_too_many_edges_rejected(self, rng):
+        with pytest.raises(ParameterError, match="maximum"):
+            random_labeled_graph(rng, 3, 4, ["A"], ["x"])
+
+
+class TestCollectionStatistics:
+    def test_empty_collection(self):
+        stats = collection_statistics([])
+        assert stats.num_graphs == 0
+        assert stats.avg_vertices == 0.0
+
+    def test_known_collection(self):
+        g1 = build_graph(["A", "B"], [(0, 1, "x")])
+        g2 = build_graph(["A", "C", "C"], [(0, 1, "y"), (1, 2, "y")])
+        stats = collection_statistics([g1, g2])
+        assert stats.num_graphs == 2
+        assert stats.avg_vertices == 2.5
+        assert stats.avg_edges == 1.5
+        assert stats.num_vertex_labels == 3  # A, B, C
+        assert stats.num_edge_labels == 2  # x, y
+        assert stats.max_degree == 2
+        assert stats.avg_degree == pytest.approx(2 * 3 / 5)
+
+    def test_table_row_format(self):
+        g = build_graph(["A"], [])
+        row = collection_statistics([g]).as_table_row("TEST")
+        assert "TEST" in row and "|R|=1" in row
+
+    def test_isolated_vertices_only(self):
+        g = Graph()
+        g.add_vertex(0, "A")
+        stats = collection_statistics([g])
+        assert stats.num_edge_labels == 0
+        assert stats.avg_degree == 0.0

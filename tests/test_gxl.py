@@ -1,0 +1,99 @@
+"""Tests for GXL serialization (the IAM repository format)."""
+
+import pytest
+
+from repro.exceptions import GraphFormatError
+from repro.graph.gxl import dumps_gxl, load_gxl, loads_gxl, save_gxl
+
+from .conftest import build_graph, path_graph
+
+IAM_STYLE = """<?xml version="1.0"?>
+<gxl>
+  <graph id="protein_1" edgeids="false" edgemode="undirected">
+    <node id="_0"><attr name="type"><string>helix</string></attr>
+                  <attr name="length"><int>12</int></attr></node>
+    <node id="_1"><attr name="type"><string>sheet</string></attr></node>
+    <node id="_2"><attr name="type"><string>loop</string></attr></node>
+    <edge from="_0" to="_1"><attr name="type"><string>seq</string></attr></edge>
+    <edge from="_1" to="_2"><attr name="type"><string>space</string></attr></edge>
+  </graph>
+  <graph id="protein_2" edgemode="undirected">
+    <node id="a"/>
+  </graph>
+</gxl>
+"""
+
+
+class TestParsing:
+    def test_iam_style_document(self):
+        graphs = loads_gxl(IAM_STYLE, vertex_attr="type", edge_attr="type")
+        assert len(graphs) == 2
+        g = graphs[0]
+        assert g.graph_id == "protein_1"
+        assert g.num_vertices == 3 and g.num_edges == 2
+        assert g.vertex_label("_0") == "helix"
+        assert g.edge_label("_1", "_2") == "space"
+
+    def test_default_attr_is_first(self):
+        graphs = loads_gxl(IAM_STYLE)
+        assert graphs[0].vertex_label("_0") == "helix"
+
+    def test_named_attr_selects_value(self):
+        graphs = loads_gxl(IAM_STYLE, vertex_attr="length")
+        assert graphs[0].vertex_label("_0") == 12  # <int> parsed
+        assert graphs[0].vertex_label("_1") == ""  # missing attr -> ""
+
+    def test_node_without_attrs_gets_empty_label(self):
+        graphs = loads_gxl(IAM_STYLE)
+        assert graphs[1].vertex_label("a") == ""
+
+    def test_invalid_xml_rejected(self):
+        with pytest.raises(GraphFormatError, match="invalid XML"):
+            loads_gxl("<gxl><graph>")
+
+    def test_edge_to_unknown_node_rejected(self):
+        bad = "<gxl><graph id='g'><node id='a'/><edge from='a' to='zz'/></graph></gxl>"
+        with pytest.raises(GraphFormatError, match="malformed"):
+            loads_gxl(bad)
+
+    def test_node_without_id_rejected(self):
+        bad = "<gxl><graph id='g'><node/></graph></gxl>"
+        with pytest.raises(GraphFormatError, match="without id"):
+            loads_gxl(bad)
+
+    def test_bad_int_value_rejected(self):
+        bad = (
+            "<gxl><graph id='g'><node id='a'>"
+            "<attr name='x'><int>oops</int></attr></node></graph></gxl>"
+        )
+        with pytest.raises(GraphFormatError, match="bad GXL int"):
+            loads_gxl(bad)
+
+
+class TestRoundTrip:
+    def test_dumps_loads(self):
+        g = build_graph(["C", "N"], [(0, 1, "-")], graph_id="mol")
+        back = loads_gxl(dumps_gxl([g]))[0]
+        assert back.graph_id == "mol"
+        assert back.num_vertices == 2 and back.num_edges == 1
+        assert back.vertex_label_multiset() == {"C": 1, "N": 1}
+        assert back.edge_label_multiset() == {"-": 1}
+
+    def test_file_round_trip(self, tmp_path):
+        graphs = [
+            path_graph(["A", "B", "C"], graph_id="p1"),
+            path_graph(["X"], graph_id="p2"),
+        ]
+        path = tmp_path / "graphs.gxl"
+        save_gxl(graphs, path)
+        back = load_gxl(path)
+        assert [g.graph_id for g in back] == ["p1", "p2"]
+        assert back[0].num_edges == 2
+
+    def test_numeric_labels_round_trip_types(self):
+        g = build_graph([1, 2.5], [(0, 1, True)])
+        g.graph_id = "nums"
+        back = loads_gxl(dumps_gxl([g]))[0]
+        labels = sorted(back.vertex_label_multiset(), key=repr)
+        assert labels == [1, 2.5]
+        assert list(back.edge_label_multiset()) == [True]

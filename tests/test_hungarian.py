@@ -1,0 +1,79 @@
+"""Tests for the Hungarian algorithm substrate."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ParameterError
+from repro.matching import assignment_cost, hungarian
+
+
+class TestKnownInstances:
+    def test_empty(self):
+        assignment, total = hungarian([])
+        assert assignment == [] and total == 0.0
+
+    def test_one_by_one(self):
+        assignment, total = hungarian([[7.0]])
+        assert assignment == [0] and total == 7.0
+
+    def test_identity_is_optimal(self):
+        cost = [[0, 9, 9], [9, 0, 9], [9, 9, 0]]
+        assignment, total = hungarian(cost)
+        assert assignment == [0, 1, 2]
+        assert total == 0
+
+    def test_classic_3x3(self):
+        cost = [[4, 1, 3], [2, 0, 5], [3, 2, 2]]
+        _, total = hungarian(cost)
+        assert total == 5  # 1 + 2 + 2
+
+    def test_rectangular_rows_less_than_cols(self):
+        cost = [[10, 1, 10], [1, 10, 10]]
+        assignment, total = hungarian(cost)
+        assert total == 2
+        assert sorted(assignment) == [0, 1]
+
+    def test_negative_costs(self):
+        cost = [[-5, 0], [0, -5]]
+        _, total = hungarian(cost)
+        assert total == -10
+
+    def test_more_rows_than_cols_rejected(self):
+        with pytest.raises(ParameterError, match="rows <= cols"):
+            hungarian([[1], [2]])
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ParameterError, match="ragged"):
+            hungarian([[1, 2], [3]])
+
+
+class TestAgainstScipy:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=7),
+        st.integers(min_value=0, max_value=7),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_matches_linear_sum_assignment(self, n, extra, seed):
+        from scipy.optimize import linear_sum_assignment
+
+        rng = random.Random(seed)
+        m = n + extra
+        cost = [[rng.randint(0, 20) for _ in range(m)] for _ in range(n)]
+        _, ours = hungarian(cost)
+        rows, cols = linear_sum_assignment(cost)
+        expected = sum(cost[i][j] for i, j in zip(rows, cols))
+        assert ours == expected
+
+    def test_assignment_is_valid_permutation(self):
+        rng = random.Random(99)
+        cost = [[rng.random() for _ in range(6)] for _ in range(6)]
+        assignment, total = hungarian(cost)
+        assert sorted(assignment) == list(range(6))
+        assert total == pytest.approx(sum(cost[i][assignment[i]] for i in range(6)))
+
+    def test_assignment_cost_helper(self):
+        assert assignment_cost([[1, 2], [2, 1]]) == 2

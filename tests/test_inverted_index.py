@@ -1,0 +1,43 @@
+"""Tests for the inverted index."""
+
+from repro.core import InvertedIndex
+
+
+class TestInvertedIndex:
+    def test_empty(self):
+        index = InvertedIndex()
+        assert len(index) == 0
+        assert list(index.probe(("A",))) == []
+        assert index.size_bytes == 0
+
+    def test_add_and_probe(self):
+        index = InvertedIndex()
+        index.add(("A", "x", "B"), 0)
+        index.add(("A", "x", "B"), 1)
+        index.add(("C",), 0)
+        assert list(index.probe(("A", "x", "B"))) == [0, 1]
+        assert list(index.probe(("C",))) == [0]
+        assert index.num_distinct_keys == 2
+        assert index.num_postings == 3
+
+    def test_duplicate_postings_kept(self):
+        # A graph with two identical prefix grams posts twice, matching
+        # Algorithm 1's per-position insertion.
+        index = InvertedIndex()
+        index.add(("A",), 7)
+        index.add(("A",), 7)
+        assert list(index.probe(("A",))) == [7, 7]
+
+    def test_add_all(self):
+        index = InvertedIndex()
+        index.add_all([("A",), ("B",), ("A",)], 3)
+        assert index.num_postings == 3
+        assert index.num_distinct_keys == 2
+
+    def test_size_accounting(self):
+        index = InvertedIndex()
+        index.add(("A",), 0)
+        index.add(("A",), 1)
+        index.add(("B",), 0)
+        # 2 distinct keys * 4 bytes + 3 postings * 4 bytes.
+        assert index.size_bytes == 2 * 4 + 3 * 4

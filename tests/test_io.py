@@ -1,0 +1,134 @@
+"""Tests for graph collection serialization."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.exceptions import GraphFormatError
+from repro.graph import (
+    assign_ids,
+    dumps_graphs,
+    from_networkx,
+    load_graphs,
+    loads_graphs,
+    save_graphs,
+    to_networkx,
+)
+
+from .conftest import build_graph, small_graphs
+
+SAMPLE = """
+t # 0
+v 0 C
+v 1 C
+v 2 O
+e 0 1 -
+e 1 2 =
+t # 1
+v 0 N
+"""
+
+
+class TestParsing:
+    def test_parse_sample(self):
+        graphs = loads_graphs(SAMPLE)
+        assert len(graphs) == 2
+        g = graphs[0]
+        assert g.graph_id == 0
+        assert g.num_vertices == 3
+        assert g.edge_label(1, 2) == "="
+        assert graphs[1].vertex_label(0) == "N"
+
+    def test_comments_and_blank_lines_skipped(self):
+        graphs = loads_graphs("# a comment\n\nt # 5\nv 0 X\n")
+        assert len(graphs) == 1
+        assert graphs[0].graph_id == 5
+
+    def test_string_graph_ids(self):
+        graphs = loads_graphs("t # mol-1\nv 0 C\n")
+        assert graphs[0].graph_id == "mol-1"
+
+    def test_labels_with_spaces(self):
+        graphs = loads_graphs("t # 0\nv 0 alpha helix\n")
+        assert graphs[0].vertex_label(0) == "alpha helix"
+
+    def test_vertex_before_graph_rejected(self):
+        with pytest.raises(GraphFormatError, match="'v' before 't'"):
+            loads_graphs("v 0 C\n")
+
+    def test_edge_before_graph_rejected(self):
+        with pytest.raises(GraphFormatError, match="'e' before 't'"):
+            loads_graphs("e 0 1 -\n")
+
+    def test_unknown_record_rejected(self):
+        with pytest.raises(GraphFormatError, match="unknown record"):
+            loads_graphs("t # 0\nx nonsense\n")
+
+    def test_malformed_vertex_rejected(self):
+        with pytest.raises(GraphFormatError, match="malformed"):
+            loads_graphs("t # 0\nv zero C\n")
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(GraphFormatError):
+            loads_graphs("t # 0\nv 0 C\nv 1 C\ne 0 1 -\ne 1 0 -\n")
+
+
+class TestRoundTrip:
+    def test_file_round_trip(self, tmp_path):
+        graphs = loads_graphs(SAMPLE)
+        path = tmp_path / "out.txt"
+        save_graphs(graphs, path)
+        back = load_graphs(path)
+        assert len(back) == len(graphs)
+        assert back[0] == graphs[0]
+        assert back[1] == graphs[1]
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_graphs(max_vertices=6))
+    def test_dumps_loads_preserves_structure(self, g):
+        g.graph_id = 0
+        # Serialized labels come back as strings; compare via string form.
+        expected = build_graph(
+            [str(g.vertex_label(v)) for v in g.vertices()],
+            [],
+        )
+        back = loads_graphs(dumps_graphs([g]))[0]
+        assert back.num_vertices == g.num_vertices
+        assert back.num_edges == g.num_edges
+        assert back.vertex_label_multiset() == expected.vertex_label_multiset()
+
+
+class TestAssignIds:
+    def test_fills_missing_ids(self):
+        graphs = loads_graphs("t\nv 0 C\nt\nv 0 C\n")
+        assert graphs[0].graph_id is None
+        assign_ids(graphs)
+        assert [g.graph_id for g in graphs] == [0, 1]
+
+    def test_keeps_existing_distinct_ids(self):
+        graphs = loads_graphs("t # 7\nv 0 C\nt # 9\nv 0 C\n")
+        assign_ids(graphs)
+        assert [g.graph_id for g in graphs] == [7, 9]
+
+    def test_resolves_duplicates(self):
+        graphs = loads_graphs("t # 7\nv 0 C\nt # 7\nv 0 C\n")
+        assign_ids(graphs)
+        ids = [g.graph_id for g in graphs]
+        assert len(set(ids)) == 2
+
+
+class TestNetworkxInterop:
+    def test_round_trip_through_networkx(self):
+        g = build_graph(["C", "O"], [(0, 1, "=")], graph_id="m")
+        nx_graph = to_networkx(g)
+        back = from_networkx(nx_graph, graph_id="m")
+        assert back == g
+
+    def test_missing_attributes_default_empty(self):
+        import networkx as nx
+
+        raw = nx.Graph()
+        raw.add_node(0)
+        raw.add_edge(0, 1)
+        g = from_networkx(raw)
+        assert g.vertex_label(0) == ""
+        assert g.edge_label(0, 1) == ""

@@ -1,0 +1,81 @@
+"""Tests for label-preserving isomorphism."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import are_isomorphic, find_isomorphism
+from repro.graph.graph import Graph
+
+from .conftest import build_graph, cycle_graph, path_graph, small_graphs
+
+
+class TestBasic:
+    def test_empty_graphs_isomorphic(self):
+        assert are_isomorphic(Graph(), Graph())
+
+    def test_identical_graphs(self):
+        g = cycle_graph(["A", "B", "C"])
+        assert are_isomorphic(g, g.copy())
+
+    def test_vertex_renaming_preserves_isomorphism(self):
+        g = cycle_graph(["A", "B", "C"])
+        h = g.relabel_vertices({0: 10, 1: 11, 2: 12})
+        assert are_isomorphic(g, h)
+        mapping = find_isomorphism(g, h)
+        assert mapping is not None
+        for u, v in mapping.items():
+            assert g.vertex_label(u) == h.vertex_label(v)
+
+    def test_different_sizes_not_isomorphic(self):
+        assert not are_isomorphic(path_graph(["A", "A"]), path_graph(["A", "A", "A"]))
+
+    def test_vertex_label_sensitive(self):
+        g = path_graph(["A", "B"])
+        h = path_graph(["A", "C"])
+        assert not are_isomorphic(g, h)
+
+    def test_edge_label_sensitive(self):
+        g = path_graph(["A", "B"], edge_label="x")
+        h = path_graph(["A", "B"], edge_label="y")
+        assert not are_isomorphic(g, h)
+
+    def test_structure_sensitive(self):
+        # Same label multisets, different structure: P4 vs star K1,3.
+        g = path_graph(["A", "A", "A", "A"])
+        h = build_graph(["A"] * 4, [(0, 1, "x"), (0, 2, "x"), (0, 3, "x")])
+        assert not are_isomorphic(g, h)
+
+    def test_regular_graphs_with_same_signatures(self):
+        # C6 vs two triangles: identical degree/label signatures,
+        # non-isomorphic — exercises the backtracking, not just pruning.
+        g = cycle_graph(["A"] * 6)
+        h = build_graph(
+            ["A"] * 6,
+            [(0, 1, "x"), (1, 2, "x"), (0, 2, "x"),
+             (3, 4, "x"), (4, 5, "x"), (3, 5, "x")],
+        )
+        assert not are_isomorphic(g, h)
+
+
+class TestRandomized:
+    @settings(max_examples=40, deadline=None)
+    @given(small_graphs(max_vertices=6), st.integers(min_value=0, max_value=2**31 - 1))
+    def test_random_relabeling_always_isomorphic(self, g, seed):
+        rng = random.Random(seed)
+        vertices = list(g.vertices())
+        shuffled = vertices[:]
+        rng.shuffle(shuffled)
+        h = g.relabel_vertices(dict(zip(vertices, [v + 100 for v in shuffled])))
+        assert are_isomorphic(g, h)
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_graphs(max_vertices=6))
+    def test_label_change_breaks_isomorphism(self, g):
+        if g.num_vertices == 0:
+            return
+        h = g.copy()
+        v = next(iter(h.vertices()))
+        h.set_vertex_label(v, "UNIQUE-LABEL")
+        assert not are_isomorphic(g, h)

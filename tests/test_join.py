@@ -1,0 +1,169 @@
+"""Tests for the GSimJoin algorithm and its variants."""
+
+import random
+
+import pytest
+
+from repro import GSimJoinOptions, assign_ids, gsim_join, gsim_join_rs, naive_join
+from repro.datasets import aids_like, figure1_graphs, protein_like
+from repro.exceptions import ParameterError
+from repro.graph import perturb
+from repro.graph.generators import random_molecule
+
+from .conftest import build_graph, path_graph
+
+
+def molecule_collection(n, seed, cluster=True):
+    rng = random.Random(seed)
+    graphs = []
+    for _ in range(n // 2):
+        base = random_molecule(rng, rng.randint(5, 12))
+        graphs.append(base)
+        if cluster:
+            graphs.append(
+                perturb(base, rng.randint(1, 3), rng, ["C", "N", "O"], ["-", "="])
+            )
+    return assign_ids(graphs)
+
+
+class TestValidation:
+    def test_negative_tau_rejected(self):
+        with pytest.raises(ParameterError):
+            gsim_join([], tau=-1)
+
+    def test_missing_ids_rejected(self):
+        g = path_graph(["A", "B"])  # no graph_id
+        with pytest.raises(ParameterError, match="ids"):
+            gsim_join([g], tau=1)
+
+    def test_duplicate_ids_rejected(self):
+        a = path_graph(["A", "B"], graph_id=1)
+        b = path_graph(["A", "C"], graph_id=1)
+        with pytest.raises(ParameterError, match="distinct"):
+            gsim_join([a, b], tau=1)
+
+    def test_empty_collection(self):
+        result = gsim_join([], tau=1)
+        assert result.pairs == []
+        assert result.stats.num_graphs == 0
+
+
+class TestSmallCollections:
+    def test_figure1_pair_found(self):
+        r, s = figure1_graphs()
+        assign_ids([r, s])
+        assert len(gsim_join([r, s], tau=3, options=GSimJoinOptions.full(q=1))) == 1
+        assert len(gsim_join([r, s], tau=2, options=GSimJoinOptions.full(q=1))) == 0
+
+    def test_tau_zero_groups_isomorphic_graphs(self):
+        a = path_graph(["A", "B"], graph_id=0)
+        b = path_graph(["A", "B"], graph_id=1).relabel_vertices({0: 5, 1: 6})
+        c = path_graph(["A", "C"], graph_id=2)
+        result = gsim_join([a, b, c], tau=0, options=GSimJoinOptions.full(q=1))
+        assert result.pair_set() == {(0, 1)}
+
+    def test_pair_order_follows_scan(self):
+        graphs = molecule_collection(12, seed=5)
+        result = gsim_join(graphs, tau=2)
+        positions = {g.graph_id: i for i, g in enumerate(graphs)}
+        for a, b in result.pairs:
+            assert positions[a] < positions[b]
+
+    def test_duplicate_free_results(self):
+        graphs = molecule_collection(16, seed=6)
+        result = gsim_join(graphs, tau=2)
+        assert len(result.pairs) == len(result.pair_set())
+
+
+class TestAgainstNaive:
+    @pytest.mark.parametrize("tau", [0, 1, 2, 3])
+    def test_molecules_all_variants(self, tau):
+        graphs = molecule_collection(20, seed=tau + 10)
+        expected = naive_join(graphs, tau, use_size_filter=False).pair_set()
+        for options in (
+            GSimJoinOptions.basic(q=2),
+            GSimJoinOptions.minedit(q=2),
+            GSimJoinOptions.full(q=2),
+        ):
+            got = gsim_join(graphs, tau, options=options)
+            assert got.pair_set() == expected
+
+    def test_mixed_q_values(self):
+        graphs = molecule_collection(16, seed=42)
+        expected = naive_join(graphs, 2).pair_set()
+        for q in (0, 1, 3, 4):
+            got = gsim_join(graphs, 2, options=GSimJoinOptions.full(q=q))
+            assert got.pair_set() == expected, f"q={q}"
+
+    def test_aids_like_integration(self):
+        graphs = aids_like(num_graphs=30, seed=9)
+        expected = naive_join(graphs, 1).pair_set()
+        got = gsim_join(graphs, 1, options=GSimJoinOptions.full(q=4))
+        assert got.pair_set() == expected
+
+    def test_protein_like_integration(self):
+        graphs = protein_like(num_graphs=20, seed=11, avg_vertices=14.0)
+        expected = naive_join(graphs, 2).pair_set()
+        got = gsim_join(graphs, 2, options=GSimJoinOptions.full(q=3))
+        assert got.pair_set() == expected
+
+    def test_heterogeneous_sizes_with_tiny_graphs(self):
+        """Tiny graphs have no q-grams at q=3; the unprunable path must
+        keep them joinable."""
+        tiny1 = path_graph(["C", "C"], graph_id="t1")
+        tiny2 = path_graph(["C", "C"], graph_id="t2")
+        tiny3 = build_graph(["C"], [], graph_id="t3")
+        graphs = molecule_collection(10, seed=77) + [tiny1, tiny2, tiny3]
+        expected = naive_join(graphs, 2).pair_set()
+        got = gsim_join(graphs, 2, options=GSimJoinOptions.full(q=3))
+        assert got.pair_set() == expected
+        assert ("t1", "t2") in got.pair_set()
+
+
+class TestStatistics:
+    def test_cand_hierarchy(self):
+        graphs = molecule_collection(20, seed=3)
+        result = gsim_join(graphs, tau=2)
+        st = result.stats
+        assert st.cand1 >= st.cand2 >= st.results
+        assert st.results == len(result.pairs)
+        assert st.num_graphs == 20
+
+    def test_prefix_stats(self):
+        graphs = molecule_collection(20, seed=4)
+        basic = gsim_join(graphs, 2, options=GSimJoinOptions.basic(q=2)).stats
+        minedit = gsim_join(graphs, 2, options=GSimJoinOptions.minedit(q=2)).stats
+        assert minedit.avg_prefix_length <= basic.avg_prefix_length
+
+    def test_timings_nonnegative(self):
+        graphs = molecule_collection(12, seed=8)
+        st = gsim_join(graphs, 1).stats
+        assert st.index_time >= 0 and st.candidate_time >= 0 and st.verify_time >= 0
+        assert st.total_time >= st.ged_time
+
+    def test_summary_contains_counts(self):
+        graphs = molecule_collection(12, seed=8)
+        result = gsim_join(graphs, 1)
+        text = result.stats.summary()
+        assert f"results={result.stats.results}" in text
+
+
+class TestRSJoin:
+    def test_rs_equals_filtered_cross_product(self):
+        outer = molecule_collection(10, seed=21)
+        inner = molecule_collection(10, seed=22)
+        got = gsim_join_rs(outer, inner, tau=2)
+        from repro.ged import ged_within
+
+        expected = {
+            (r.graph_id, s.graph_id)
+            for r in outer
+            for s in inner
+            if ged_within(r, s, 2)
+        }
+        assert got.pair_set() == expected
+
+    def test_rs_with_empty_sides(self):
+        inner = molecule_collection(4, seed=1)
+        assert gsim_join_rs([], inner, tau=1).pairs == []
+        assert gsim_join_rs(inner, [], tau=1).pairs == []

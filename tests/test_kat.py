@@ -1,0 +1,107 @@
+"""Tests for the κ-AT baseline."""
+
+import pytest
+
+from repro import naive_join
+from repro.baselines import d_tree, kat_join, tree_gram_key, tree_gram_multiset
+from repro.datasets import figure1_graphs
+from repro.exceptions import ParameterError
+
+from .conftest import path_graph, star_graph
+from .test_join import molecule_collection
+
+
+class TestDTree:
+    def test_q0_is_one(self):
+        assert d_tree(5, 0) == 1
+
+    def test_isolated_vertices(self):
+        # Edge insertion can still affect both endpoints' grams.
+        assert d_tree(0, 1) == 2
+        assert d_tree(0, 3) == 2
+
+    def test_degree_one(self):
+        assert d_tree(1, 1) == 2
+        assert d_tree(1, 3) == max(2, 2 * 2)
+
+    def test_degree_two_path(self):
+        # N_q = 1 + 2q vs 2 * N_{q-1} = 2 * (2q - 1).
+        assert d_tree(2, 1) == 3
+        assert d_tree(2, 2) == max(5, 6)
+        assert d_tree(2, 3) == max(7, 10)
+
+    def test_general_formula(self):
+        # gamma=3, q=2: 1 + 3*(1 + 2) = 10.
+        assert d_tree(3, 2) == 10
+
+    def test_grows_exponentially_with_q(self):
+        assert d_tree(4, 4) > d_tree(4, 3) > d_tree(4, 2)
+
+    def test_negative_q_rejected(self):
+        with pytest.raises(ParameterError):
+            d_tree(3, -1)
+
+
+class TestTreeGrams:
+    def test_q1_is_star(self):
+        g = star_graph("A", ["B", "C"])
+        key = tree_gram_key(g, 0, 1)
+        label, children = key
+        assert label == repr("A")
+        assert len(children) == 2
+
+    def test_q0_is_vertex_label(self):
+        g = path_graph(["A", "B"])
+        assert tree_gram_key(g, 0, 0) == (repr("A"),)
+
+    def test_multiset_one_gram_per_vertex(self):
+        r, _ = figure1_graphs()
+        counts = tree_gram_multiset(r, 1)
+        assert sum(counts.values()) == r.num_vertices
+
+    def test_isomorphism_invariance(self):
+        g = path_graph(["A", "B", "C"])
+        h = g.relabel_vertices({0: 10, 1: 11, 2: 12})
+        for q in (1, 2, 3):
+            assert tree_gram_multiset(g, q) == tree_gram_multiset(h, q)
+
+    def test_structure_sensitivity(self):
+        p = path_graph(["A", "A", "A", "A"])
+        s = star_graph("A", ["A", "A", "A"])
+        assert tree_gram_multiset(p, 1) != tree_gram_multiset(s, 1)
+
+    def test_negative_q_rejected(self):
+        with pytest.raises(ParameterError):
+            tree_gram_multiset(path_graph(["A"]), -1)
+
+
+class TestKatJoin:
+    def test_missing_ids_rejected(self):
+        with pytest.raises(ParameterError):
+            kat_join([path_graph(["A"])], tau=1)
+
+    @pytest.mark.parametrize("tau", [0, 1, 2])
+    def test_matches_naive(self, tau):
+        graphs = molecule_collection(20, seed=tau + 30)
+        expected = naive_join(graphs, tau, use_size_filter=False).pair_set()
+        assert kat_join(graphs, tau, q=1).pair_set() == expected
+
+    def test_longer_tree_grams_still_correct(self):
+        graphs = molecule_collection(14, seed=50)
+        expected = naive_join(graphs, 1).pair_set()
+        for q in (2, 3):
+            assert kat_join(graphs, 1, q=q).pair_set() == expected, f"q={q}"
+
+    def test_underflow_grows_with_q(self):
+        """The paper's criticism: longer tree q-grams underflow and force
+        all-pair comparisons."""
+        graphs = molecule_collection(20, seed=51)
+        stats_q1 = kat_join(graphs, 2, q=1).stats
+        stats_q3 = kat_join(graphs, 2, q=3).stats
+        assert stats_q3.unprunable_graphs >= stats_q1.unprunable_graphs
+
+    def test_statistics_populated(self):
+        graphs = molecule_collection(16, seed=52)
+        st = kat_join(graphs, 1, q=1).stats
+        assert st.cand1 >= st.cand2 >= st.results
+        assert st.total_prefix_length > 0

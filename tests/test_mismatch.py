@@ -1,0 +1,83 @@
+"""Tests for CompareQGrams (mismatching q-gram extraction)."""
+
+from hypothesis import given, settings
+
+from repro.core import compare_qgrams, extract_qgrams, mismatching_grams
+from repro.datasets import figure1_graphs
+
+from .conftest import graph_pairs_within, path_graph, small_graphs
+
+
+class TestFigure1:
+    def test_mismatch_counts(self):
+        r, s = figure1_graphs()
+        pr, ps = extract_qgrams(r, 1), extract_qgrams(s, 1)
+        result = compare_qgrams(pr, ps)
+        # r \ s = {C=O}; s \ r = {C-O, C-N}.
+        assert result.epsilon_r == 1
+        assert result.epsilon_s == 2
+        assert {g.key for g in result.mismatch_r} == {("C", "=", "O")}
+        assert {g.key for g in result.mismatch_s} == {
+            ("C", "-", "O"),
+            ("C", "-", "N"),
+        }
+
+    def test_absent_keys(self):
+        r, s = figure1_graphs()
+        result = compare_qgrams(extract_qgrams(r, 1), extract_qgrams(s, 1))
+        assert result.absent_keys_r == {("C", "=", "O")}
+        assert result.absent_keys_s == {("C", "-", "O"), ("C", "-", "N")}
+
+
+class TestMultisetSemantics:
+    def test_partial_overlap_surplus(self):
+        a = path_graph(["A", "A", "A"])  # A-A gram x2
+        b = path_graph(["A", "A"])  # A-A gram x1
+        pa, pb = extract_qgrams(a, 1), extract_qgrams(b, 1)
+        result = compare_qgrams(pa, pb)
+        assert result.epsilon_r == 1  # surplus of one instance
+        assert result.epsilon_s == 0
+        # The key occurs in both graphs, so it is NOT fully absent.
+        assert result.absent_keys_r == frozenset()
+
+    def test_identical_profiles_have_no_mismatch(self):
+        g = path_graph(["A", "B", "C"])
+        p1, p2 = extract_qgrams(g, 1), extract_qgrams(g.copy(), 1)
+        result = compare_qgrams(p1, p2)
+        assert result.epsilon_r == result.epsilon_s == 0
+        assert result.mismatch_r == [] and result.mismatch_s == []
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(graph_pairs_within(tau_max=2, max_vertices=5))
+    def test_epsilon_equals_multiset_difference(self, pair):
+        r, s, _ = pair
+        pr, ps = extract_qgrams(r, 1), extract_qgrams(s, 1)
+        result = compare_qgrams(pr, ps)
+        expected_r = sum(
+            max(0, c - ps.key_counts.get(k, 0)) for k, c in pr.key_counts.items()
+        )
+        expected_s = sum(
+            max(0, c - pr.key_counts.get(k, 0)) for k, c in ps.key_counts.items()
+        )
+        assert result.epsilon_r == expected_r
+        assert result.epsilon_s == expected_s
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_graphs(max_vertices=5))
+    def test_self_comparison_is_empty(self, g):
+        p = extract_qgrams(g, 2)
+        assert mismatching_grams(p, p) == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph_pairs_within(tau_max=2, max_vertices=5))
+    def test_absent_key_instances_all_selected(self, pair):
+        """Every instance of a fully-absent key must be in the mismatch
+        list (they are all guaranteed affected)."""
+        r, s, _ = pair
+        pr, ps = extract_qgrams(r, 1), extract_qgrams(s, 1)
+        result = compare_qgrams(pr, ps)
+        for key in result.absent_keys_r:
+            chosen = sum(1 for g in result.mismatch_r if g.key == key)
+            assert chosen == pr.key_counts[key]

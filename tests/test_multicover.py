@@ -1,0 +1,155 @@
+"""Tests for the set-multicover solver and the extended join variant."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from itertools import combinations
+
+from repro import GSimJoinOptions, gsim_join, naive_join
+from repro.core import compare_qgrams, extract_qgrams
+from repro.core.label_filter import multicover_min_edit_bound
+from repro.exceptions import ParameterError
+from repro.ged import graph_edit_distance
+from repro.setcover import exact_min_multicover, multicover_coverage_bound
+
+from .conftest import graph_pairs_within, path_graph
+from .test_join import molecule_collection
+from .test_soundness import random_collection
+
+
+def brute_force_multicover(groups):
+    universe = sorted({v for insts, _ in groups for s in insts for v in s}, key=repr)
+    total_demand = sum(need for _, need in groups)
+    if total_demand == 0:
+        return 0
+    for k in range(1, len(universe) + 1):
+        for pick in combinations(universe, k):
+            chosen = set(pick)
+            if all(
+                sum(1 for inst in insts if chosen & inst) >= need
+                for insts, need in groups
+            ):
+                return k
+    return len(universe)
+
+
+@st.composite
+def multicover_instances(draw):
+    num_groups = draw(st.integers(min_value=0, max_value=4))
+    groups = []
+    for _ in range(num_groups):
+        size = draw(st.integers(min_value=1, max_value=4))
+        instances = []
+        for _ in range(size):
+            inst_size = draw(st.integers(min_value=1, max_value=3))
+            inst = draw(
+                st.lists(st.integers(min_value=0, max_value=6), min_size=inst_size,
+                         max_size=inst_size, unique=True)
+            )
+            instances.append(frozenset(inst))
+        need = draw(st.integers(min_value=0, max_value=size))
+        groups.append((instances, need))
+    return groups
+
+
+class TestExactMultiCover:
+    def test_empty(self):
+        assert exact_min_multicover([], cap=3) == 0
+
+    def test_zero_demand_groups(self):
+        assert exact_min_multicover([([frozenset({1})], 0)], cap=3) == 0
+
+    def test_full_demand_equals_hitting_set(self):
+        groups = [([frozenset({1}), frozenset({2})], 2)]
+        assert exact_min_multicover(groups, cap=5) == 2
+
+    def test_partial_demand(self):
+        # Three disjoint instances, any one suffices.
+        groups = [([frozenset({1}), frozenset({2}), frozenset({3})], 1)]
+        assert exact_min_multicover(groups, cap=5) == 1
+
+    def test_shared_vertex_covers_two_groups(self):
+        groups = [
+            ([frozenset({1, 2})], 1),
+            ([frozenset({2, 3})], 1),
+        ]
+        assert exact_min_multicover(groups, cap=5) == 1  # vertex 2
+
+    def test_cap_saturation(self):
+        groups = [([frozenset({i})], 1) for i in range(4)]
+        assert exact_min_multicover(groups, cap=2) == 3  # cap + 1
+
+    def test_invalid_demand_rejected(self):
+        with pytest.raises(ParameterError, match="demand"):
+            exact_min_multicover([([frozenset({1})], 2)], cap=3)
+        with pytest.raises(ParameterError):
+            exact_min_multicover([([frozenset({1})], -1)], cap=3)
+
+    def test_empty_instance_rejected(self):
+        with pytest.raises(ParameterError, match="empty"):
+            exact_min_multicover([([frozenset()], 1)], cap=3)
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ParameterError):
+            exact_min_multicover([], cap=-1)
+
+    @settings(max_examples=60, deadline=None)
+    @given(multicover_instances())
+    def test_matches_brute_force(self, groups):
+        expected = brute_force_multicover(groups)
+        cap = 8
+        assert exact_min_multicover(groups, cap=cap) == min(expected, cap + 1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(multicover_instances())
+    def test_coverage_bound_sound(self, groups):
+        assert multicover_coverage_bound(groups) <= brute_force_multicover(groups)
+
+
+class TestMulticoverFilterBound:
+    @settings(max_examples=40, deadline=None)
+    @given(graph_pairs_within(tau_max=3, max_vertices=5), st.sampled_from([1, 2]))
+    def test_never_exceeds_true_distance(self, pair, q):
+        r, s, _ = pair
+        ged = graph_edit_distance(r, s)
+        p_r, p_s = extract_qgrams(r, q), extract_qgrams(s, q)
+        mm = compare_qgrams(p_r, p_s)
+        assert multicover_min_edit_bound(mm.surplus_groups_r(p_r, p_s), ged) <= ged
+        assert multicover_min_edit_bound(mm.surplus_groups_s(p_r, p_s), ged) <= ged
+
+    def test_catches_partial_surplus(self):
+        """Two A-A grams vs one: one edit must explain the surplus."""
+        a = path_graph(["A", "A", "A"])
+        b = path_graph(["A", "A"])
+        pa, pb = extract_qgrams(a, 1), extract_qgrams(b, 1)
+        mm = compare_qgrams(pa, pb)
+        # The surplus key A-A is partially matched: the absent-keys
+        # filter sees nothing, the multicover bound still certifies 1.
+        assert mm.absent_keys_r == frozenset()
+        assert multicover_min_edit_bound(mm.surplus_groups_r(pa, pb), 3) >= 1
+
+
+class TestExtendedJoin:
+    @pytest.mark.parametrize("tau", [0, 1, 2])
+    def test_extended_variant_matches_naive(self, tau):
+        graphs = molecule_collection(18, seed=tau + 90)
+        expected = naive_join(graphs, tau, use_size_filter=False).pair_set()
+        got = gsim_join(graphs, tau, options=GSimJoinOptions.extended(q=2))
+        assert got.pair_set() == expected
+
+    def test_extended_never_increases_cand2(self):
+        graphs = molecule_collection(24, seed=95)
+        full = gsim_join(graphs, 2, options=GSimJoinOptions.full(q=3)).stats
+        extended = gsim_join(graphs, 2, options=GSimJoinOptions.extended(q=3)).stats
+        assert extended.cand2 <= full.cand2
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.integers(min_value=0, max_value=2),
+    )
+    def test_extended_on_random_collections(self, seed, tau):
+        graphs = random_collection(seed, size=8)
+        expected = naive_join(graphs, tau, use_size_filter=False).pair_set()
+        got = gsim_join(graphs, tau, options=GSimJoinOptions.extended(q=2))
+        assert got.pair_set() == expected

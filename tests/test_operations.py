@@ -1,0 +1,110 @@
+"""Tests for the six edit operations and random perturbation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphError
+from repro.ged import graph_edit_distance
+from repro.graph import (
+    EdgeDeletion,
+    EdgeInsertion,
+    EdgeRelabel,
+    VertexDeletion,
+    VertexInsertion,
+    VertexRelabel,
+    perturb,
+    random_edit,
+)
+from repro.graph.graph import Graph
+
+from .conftest import EDGE_LABELS, VERTEX_LABELS, build_graph, small_graphs
+
+
+class TestOperations:
+    def test_vertex_insertion(self):
+        g = Graph()
+        VertexInsertion(0, "C").apply(g)
+        assert g.vertex_label(0) == "C"
+        assert g.degree(0) == 0
+
+    def test_vertex_deletion_requires_isolation(self):
+        g = build_graph(["A", "B"], [(0, 1, "x")])
+        with pytest.raises(GraphError, match="not isolated"):
+            VertexDeletion(0).apply(g)
+        g.remove_edge(0, 1)
+        VertexDeletion(0).apply(g)
+        assert g.num_vertices == 1
+
+    def test_vertex_relabel(self):
+        g = build_graph(["A"], [])
+        VertexRelabel(0, "Z").apply(g)
+        assert g.vertex_label(0) == "Z"
+
+    def test_edge_insertion_requires_disconnected(self):
+        g = build_graph(["A", "B"], [(0, 1, "x")])
+        with pytest.raises(GraphError):
+            EdgeInsertion(0, 1, "y").apply(g)
+        g2 = build_graph(["A", "B"], [])
+        EdgeInsertion(0, 1, "y").apply(g2)
+        assert g2.edge_label(0, 1) == "y"
+
+    def test_edge_deletion(self):
+        g = build_graph(["A", "B"], [(0, 1, "x")])
+        EdgeDeletion(0, 1).apply(g)
+        assert g.num_edges == 0
+
+    def test_edge_relabel(self):
+        g = build_graph(["A", "B"], [(0, 1, "x")])
+        EdgeRelabel(0, 1, "y").apply(g)
+        assert g.edge_label(0, 1) == "y"
+
+
+class TestRandomEdit:
+    def test_returns_applicable_operation(self, rng):
+        g = build_graph(["A", "B", "C"], [(0, 1, "x")])
+        for _ in range(50):
+            h = g.copy()
+            op = random_edit(h, rng, VERTEX_LABELS, EDGE_LABELS)
+            assert op is not None
+            op.apply(h)  # must not raise
+
+    def test_degenerate_case_returns_none(self, rng):
+        g = Graph()
+        assert random_edit(g, rng, [], []) is None
+
+    def test_relabel_is_never_noop(self, rng):
+        g = build_graph(["A"], [])
+        for _ in range(30):
+            h = g.copy()
+            op = random_edit(h, rng, VERTEX_LABELS, [])
+            op.apply(h)
+            assert h != g or h.num_vertices > 1
+
+
+class TestPerturb:
+    def test_zero_edits_is_identity(self, rng):
+        g = build_graph(["A", "B"], [(0, 1, "x")])
+        h = perturb(g, 0, rng, VERTEX_LABELS, EDGE_LABELS)
+        assert h == g
+        assert h is not g
+
+    def test_sets_graph_id(self, rng):
+        g = build_graph(["A"], [], graph_id="base")
+        h = perturb(g, 1, rng, VERTEX_LABELS, EDGE_LABELS, graph_id="clone")
+        assert h.graph_id == "clone"
+        assert g.graph_id == "base"
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        small_graphs(max_vertices=4),
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_ged_bounded_by_edit_count(self, g, k, seed):
+        """The defining property: ged(g, perturb(g, k)) <= k."""
+        rng = random.Random(seed)
+        h = perturb(g, k, rng, VERTEX_LABELS, EDGE_LABELS)
+        assert graph_edit_distance(g, h, threshold=k) <= k

@@ -1,0 +1,84 @@
+"""Tests for simple-path enumeration."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.exceptions import ParameterError
+from repro.graph import count_simple_paths, simple_paths
+from repro.graph.graph import Graph
+
+from .conftest import build_graph, cycle_graph, path_graph, small_graphs, star_graph
+
+
+class TestKnownCounts:
+    def test_q0_yields_vertices(self):
+        g = path_graph(["A", "B", "C"])
+        assert sorted(simple_paths(g, 0)) == [(0,), (1,), (2,)]
+
+    def test_path_graph_counts(self):
+        g = path_graph(["A"] * 5)  # P5: 4 edges
+        assert count_simple_paths(g, 1) == 4
+        assert count_simple_paths(g, 2) == 3
+        assert count_simple_paths(g, 3) == 2
+        assert count_simple_paths(g, 4) == 1
+        assert count_simple_paths(g, 5) == 0
+
+    def test_cycle_graph_counts(self):
+        g = cycle_graph(["A"] * 5)  # C5
+        # In C_n there are exactly n simple paths of each length 1..n-1.
+        for q in range(1, 5):
+            assert count_simple_paths(g, q) == 5
+
+    def test_star_graph_counts(self):
+        g = star_graph("A", ["B", "C", "D"])  # K1,3
+        assert count_simple_paths(g, 1) == 3
+        assert count_simple_paths(g, 2) == 3  # leaf-centre-leaf pairs
+        assert count_simple_paths(g, 3) == 0
+
+    def test_triangle(self):
+        g = cycle_graph(["A", "B", "C"])
+        assert count_simple_paths(g, 1) == 3
+        assert count_simple_paths(g, 2) == 3
+
+    def test_complete_graph_k4(self):
+        edges = [(i, j, "x") for i in range(4) for j in range(i + 1, 4)]
+        g = build_graph(["A"] * 4, edges)
+        assert count_simple_paths(g, 1) == 6
+        assert count_simple_paths(g, 2) == 12  # 4 * C(3,2) * 2 orderings / ...
+        assert count_simple_paths(g, 3) == 12  # 4!/2
+
+    def test_empty_graph(self):
+        g = Graph()
+        assert count_simple_paths(g, 0) == 0
+        assert count_simple_paths(g, 1) == 0
+
+
+class TestProperties:
+    def test_negative_q_rejected(self):
+        with pytest.raises(ParameterError):
+            list(simple_paths(Graph(), -1))
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_graphs(max_vertices=6))
+    def test_paths_are_simple_and_connected(self, g):
+        for q in (1, 2, 3):
+            for path in simple_paths(g, q):
+                assert len(path) == q + 1
+                assert len(set(path)) == q + 1  # no repeated vertex
+                for i in range(q):
+                    assert g.has_edge(path[i], path[i + 1])
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_graphs(max_vertices=6))
+    def test_each_undirected_path_reported_once(self, g):
+        for q in (1, 2):
+            seen = set()
+            for path in simple_paths(g, q):
+                key = frozenset([path, tuple(reversed(path))])
+                assert key not in seen
+                seen.add(key)
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_graphs(max_vertices=6))
+    def test_q1_count_equals_edge_count(self, g):
+        assert count_simple_paths(g, 1) == g.num_edges

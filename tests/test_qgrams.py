@@ -1,0 +1,129 @@
+"""Tests for path-based q-gram extraction, anchored to the paper's examples."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import extract_qgrams
+from repro.core.qgrams import qgram_key
+from repro.datasets import figure1_graphs
+from repro.exceptions import ParameterError
+from repro.graph.graph import Graph
+
+from .conftest import build_graph, cycle_graph, path_graph, small_graphs
+
+
+class TestPaperExamples:
+    """Example 3 / Example 4 of the paper, verbatim."""
+
+    def test_figure1_one_grams_of_r(self):
+        r, _ = figure1_graphs()
+        profile = extract_qgrams(r, 1)
+        assert profile.key_counts == {
+            ("C", "-", "C"): 3,
+            ("C", "=", "O"): 1,
+        }
+        assert profile.size == 4
+
+    def test_figure1_one_grams_of_s(self):
+        _, s = figure1_graphs()
+        profile = extract_qgrams(s, 1)
+        assert profile.key_counts == {
+            ("C", "-", "C"): 3,
+            ("C", "-", "O"): 1,
+            ("C", "-", "N"): 1,
+        }
+        assert profile.size == 5
+
+    def test_figure1_d_path_q1(self):
+        # Example 4: changing the label of C1 gives max |Q_u| = 3 for both.
+        r, s = figure1_graphs()
+        assert extract_qgrams(r, 1).d_path == 3
+        assert extract_qgrams(s, 1).d_path == 3
+
+    def test_figure1_q2_sizes_and_dpath(self):
+        # Example 4 (q=2): lower bound max(5-5, 7-6) = 1 at tau=1.
+        r, s = figure1_graphs()
+        pr, ps = extract_qgrams(r, 2), extract_qgrams(s, 2)
+        assert (pr.size, pr.d_path) == (5, 5)
+        assert (ps.size, ps.d_path) == (7, 6)
+
+
+class TestExtraction:
+    def test_q0_grams_are_vertex_labels(self):
+        g = path_graph(["A", "B", "A"])
+        profile = extract_qgrams(g, 0)
+        assert profile.key_counts == {("A",): 2, ("B",): 1}
+        assert profile.d_path == 1
+
+    def test_negative_q_rejected(self):
+        with pytest.raises(ParameterError):
+            extract_qgrams(Graph(), -1)
+
+    def test_empty_graph(self):
+        profile = extract_qgrams(Graph(), 2)
+        assert profile.size == 0
+        assert profile.d_path == 0
+
+    def test_graph_smaller_than_q_has_no_grams(self):
+        g = path_graph(["A", "B"])
+        profile = extract_qgrams(g, 3)
+        assert profile.size == 0
+        assert profile.vertex_counts == {0: 0, 1: 0}
+
+    def test_canonical_orientation(self):
+        # Path A-x-B read from either end: key must be the lexicographically
+        # smaller sequence regardless of construction order.
+        g1 = path_graph(["A", "B"])
+        g2 = path_graph(["B", "A"])
+        k1 = list(extract_qgrams(g1, 1).key_counts)[0]
+        k2 = list(extract_qgrams(g2, 1).key_counts)[0]
+        assert k1 == k2 == ("A", "x", "B")
+
+    def test_qgram_key_includes_edge_labels(self):
+        g = build_graph(["A", "A"], [(0, 1, "x")])
+        h = build_graph(["A", "A"], [(0, 1, "y")])
+        assert list(extract_qgrams(g, 1).key_counts) != list(
+            extract_qgrams(h, 1).key_counts
+        )
+
+    def test_vertex_counts_sum(self):
+        g = cycle_graph(["A", "B", "C", "D"])
+        profile = extract_qgrams(g, 2)
+        # Each q-gram covers q+1 vertices.
+        assert sum(profile.vertex_counts.values()) == profile.size * 3
+
+    def test_gram_paths_are_real_paths(self):
+        g = cycle_graph(["A", "B", "C", "D", "E"])
+        profile = extract_qgrams(g, 3)
+        for gram in profile.grams:
+            assert len(gram.path) == 4
+            for i in range(3):
+                assert g.has_edge(gram.path[i], gram.path[i + 1])
+            assert qgram_key(g, gram.path) == gram.key
+
+    def test_edge_pairs(self):
+        g = path_graph(["A", "B", "C"])
+        profile = extract_qgrams(g, 2)
+        gram = profile.grams[0]
+        assert len(gram.edge_pairs()) == 2
+        assert gram.vertex_set == frozenset({0, 1, 2})
+
+
+class TestInvariance:
+    @settings(max_examples=30, deadline=None)
+    @given(small_graphs(max_vertices=6))
+    def test_key_multiset_is_isomorphism_invariant(self, g):
+        h = g.relabel_vertices({v: v + 100 for v in g.vertices()})
+        for q in (1, 2):
+            assert extract_qgrams(g, q).key_counts == extract_qgrams(h, q).key_counts
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_graphs(max_vertices=6))
+    def test_d_path_bounds_vertex_counts(self, g):
+        profile = extract_qgrams(g, 2)
+        assert all(c <= profile.d_path for c in profile.vertex_counts.values())
+
+    def test_count_lower_bound_method(self):
+        r, _ = figure1_graphs()
+        profile = extract_qgrams(r, 1)
+        assert profile.count_lower_bound(1) == 4 - 3

@@ -1,0 +1,39 @@
+"""Tests for join result and statistics containers."""
+
+from repro.core import JoinResult, JoinStatistics
+
+
+class TestJoinStatistics:
+    def test_defaults(self):
+        st = JoinStatistics()
+        assert st.cand1 == 0 and st.cand2 == 0 and st.results == 0
+        assert st.total_time == 0.0
+        assert st.avg_prefix_length == 0.0  # no graphs -> no div by zero
+
+    def test_total_time_sums_phases(self):
+        st = JoinStatistics(index_time=1.0, candidate_time=0.5, verify_time=2.0)
+        assert st.total_time == 3.5
+
+    def test_avg_prefix_length(self):
+        st = JoinStatistics(num_graphs=4, total_prefix_length=10)
+        assert st.avg_prefix_length == 2.5
+
+    def test_summary_mentions_core_counters(self):
+        st = JoinStatistics(num_graphs=3, tau=2, q=4, cand1=9, cand2=5, results=1)
+        text = st.summary()
+        for fragment in ("n=3", "tau=2", "q=4", "cand1=9", "cand2=5", "results=1"):
+            assert fragment in text
+
+
+class TestJoinResult:
+    def test_len_and_pair_set(self):
+        result = JoinResult(pairs=[(0, 1), (2, 3), (0, 1)])
+        assert len(result) == 3
+        assert result.pair_set() == {(0, 1), (2, 3)}
+
+    def test_default_factories_independent(self):
+        a, b = JoinResult(), JoinResult()
+        a.pairs.append((1, 2))
+        a.stats.cand1 = 5
+        assert b.pairs == []
+        assert b.stats.cand1 == 0

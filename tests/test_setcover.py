@@ -1,0 +1,128 @@
+"""Tests for the hitting-set substrate."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ParameterError
+from repro.setcover import (
+    exact_min_hitting_set,
+    greedy_hitting_set,
+    greedy_lower_bound,
+    slavik_ratio,
+)
+
+
+def brute_force_min_hitting_set(sets):
+    """Smallest hitting set by subset enumeration (tests only)."""
+    universe = sorted({e for s in sets for e in s}, key=repr)
+    if not sets:
+        return 0
+    for k in range(1, len(universe) + 1):
+        for pick in combinations(universe, k):
+            chosen = set(pick)
+            if all(chosen & s for s in sets):
+                return k
+    return len(universe)
+
+
+@st.composite
+def hitting_instances(draw):
+    num_sets = draw(st.integers(min_value=0, max_value=6))
+    sets = []
+    for _ in range(num_sets):
+        size = draw(st.integers(min_value=1, max_value=4))
+        elements = draw(
+            st.lists(st.integers(min_value=0, max_value=8), min_size=size,
+                     max_size=size, unique=True)
+        )
+        sets.append(frozenset(elements))
+    return sets
+
+
+class TestGreedy:
+    def test_empty_input(self):
+        assert greedy_hitting_set([]) == []
+
+    def test_single_set(self):
+        chosen = greedy_hitting_set([frozenset({1, 2})])
+        assert len(chosen) == 1
+        assert chosen[0] in {1, 2}
+
+    def test_shared_element_chosen_first(self):
+        sets = [frozenset({1, 2}), frozenset({1, 3}), frozenset({1, 4})]
+        assert greedy_hitting_set(sets) == [1]
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ParameterError, match="empty set"):
+            greedy_hitting_set([frozenset()])
+
+    @settings(max_examples=50, deadline=None)
+    @given(hitting_instances())
+    def test_greedy_is_a_hitting_set(self, sets):
+        chosen = set(greedy_hitting_set(sets))
+        assert all(chosen & s for s in sets)
+
+
+class TestExact:
+    def test_empty_input_is_zero(self):
+        assert exact_min_hitting_set([], cap=3) == 0
+
+    def test_cap_zero(self):
+        assert exact_min_hitting_set([frozenset({1})], cap=0) == 1
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ParameterError):
+            exact_min_hitting_set([], cap=-1)
+
+    def test_disjoint_sets_need_one_each(self):
+        sets = [frozenset({1}), frozenset({2}), frozenset({3})]
+        assert exact_min_hitting_set(sets, cap=5) == 3
+
+    def test_cap_truncates(self):
+        sets = [frozenset({1}), frozenset({2}), frozenset({3})]
+        assert exact_min_hitting_set(sets, cap=1) == 2  # cap + 1 sentinel
+
+    def test_overlapping_sets(self):
+        sets = [frozenset({1, 2}), frozenset({2, 3}), frozenset({3, 4})]
+        assert exact_min_hitting_set(sets, cap=5) == 2
+
+    @settings(max_examples=60, deadline=None)
+    @given(hitting_instances())
+    def test_exact_matches_brute_force(self, sets):
+        expected = brute_force_min_hitting_set(sets)
+        cap = 8
+        assert exact_min_hitting_set(sets, cap=cap) == min(expected, cap + 1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(hitting_instances())
+    def test_greedy_never_below_exact(self, sets):
+        exact = exact_min_hitting_set(sets, cap=10)
+        greedy = len(greedy_hitting_set(sets))
+        assert greedy >= exact
+
+
+class TestLowerBound:
+    def test_slavik_ratio_clamped(self):
+        assert slavik_ratio(0) == 1.0
+        assert slavik_ratio(1) == 1.0
+        assert slavik_ratio(2) >= 1.0
+        assert slavik_ratio(1000) > 1.0
+
+    def test_ratio_increases_eventually(self):
+        assert slavik_ratio(10000) > slavik_ratio(100) > slavik_ratio(10)
+
+    def test_empty_lower_bound(self):
+        assert greedy_lower_bound([]) == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(hitting_instances())
+    def test_lower_bound_is_sound(self, sets):
+        """The central property: the bound never exceeds the optimum."""
+        if not sets:
+            assert greedy_lower_bound(sets) == 0
+            return
+        optimum = brute_force_min_hitting_set(sets)
+        assert greedy_lower_bound(sets) <= optimum

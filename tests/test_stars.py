@@ -1,0 +1,101 @@
+"""Tests for star structures and the star-based GED bounds."""
+
+from hypothesis import given, settings
+
+from repro.ged import brute_force_ged, induced_edit_cost
+from repro.matching import (
+    mapping_distance,
+    star_deletion_cost,
+    star_distance,
+    star_ged_lower_bound,
+    star_multiset,
+    star_of,
+)
+
+from .conftest import build_graph, graph_pairs_within, path_graph, star_graph
+
+
+class TestStarStructure:
+    def test_star_of_isolated_vertex(self):
+        g = build_graph(["A"], [])
+        root, leaves = star_of(g, 0)
+        assert root == "A" and leaves == ()
+
+    def test_star_of_center(self):
+        g = star_graph("A", ["C", "B"])
+        root, leaves = star_of(g, 0)
+        assert root == "A"
+        assert leaves == (repr("B"), repr("C"))  # sorted
+
+    def test_star_multiset_alignment(self):
+        g = path_graph(["A", "B", "C"])
+        stars = star_multiset(g)
+        assert len(stars) == 3
+        assert stars[0][0] == "A" and stars[1][0] == "B"
+
+
+class TestStarDistance:
+    def test_identical_stars(self):
+        s = ("A", ("'B'", "'C'"))
+        assert star_distance(s, s) == 0
+
+    def test_root_mismatch(self):
+        assert star_distance(("A", ()), ("B", ())) == 1
+
+    def test_leaf_mismatch(self):
+        # d = ||L1|-|L2|| + max(|L1|,|L2|) - |intersection| = 0 + 2 - 1 = 1
+        assert star_distance(("A", ("'B'", "'C'")), ("A", ("'B'", "'D'"))) == 1
+
+    def test_degree_difference(self):
+        # d = |2-0| + 2 - 0 = 4, plus matching roots = 4
+        assert star_distance(("A", ("'B'", "'C'")), ("A", ())) == 4
+
+    def test_deletion_cost(self):
+        assert star_deletion_cost(("A", ())) == 1
+        assert star_deletion_cost(("A", ("'B'", "'C'"))) == 5  # 1 + 2*2
+
+
+class TestMappingDistance:
+    def test_identical_graphs_zero(self):
+        g = path_graph(["A", "B", "C"])
+        mu, mapping = mapping_distance(g, g.copy())
+        assert mu == 0
+        assert set(mapping) == {0, 1, 2}
+
+    def test_empty_graphs(self):
+        from repro.graph.graph import Graph
+
+        mu, mapping = mapping_distance(Graph(), Graph())
+        assert mu == 0 and mapping == {}
+
+    def test_mapping_covers_all_r_vertices(self):
+        r = path_graph(["A", "B", "C", "D"])
+        s = path_graph(["A", "B"])
+        _, mapping = mapping_distance(r, s)
+        assert set(mapping) == set(r.vertices())
+        images = [v for v in mapping.values() if v is not None]
+        assert len(images) == len(set(images))  # injective
+
+
+class TestBounds:
+    @settings(max_examples=30, deadline=None)
+    @given(graph_pairs_within(tau_max=2, max_vertices=4))
+    def test_lower_bound_never_exceeds_ged(self, pair):
+        r, s, _ = pair
+        assert star_ged_lower_bound(r, s) <= brute_force_ged(r, s)
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph_pairs_within(tau_max=2, max_vertices=4))
+    def test_induced_cost_upper_bounds_ged(self, pair):
+        r, s, _ = pair
+        _, mapping = mapping_distance(r, s)
+        assert induced_edit_cost(r, s, mapping) >= brute_force_ged(r, s)
+
+    def test_bounds_bracket_known_distance(self):
+        r = path_graph(["A", "B", "C"])
+        s = path_graph(["A", "B", "D"])
+        ged = brute_force_ged(r, s)  # 1: relabel C -> D
+        assert ged == 1
+        assert star_ged_lower_bound(r, s) <= 1
+        _, mapping = mapping_distance(r, s)
+        assert induced_edit_cost(r, s, mapping) >= 1

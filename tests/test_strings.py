@@ -1,0 +1,256 @@
+"""Tests for the string similarity join substrate."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ParameterError
+from repro.strings import (
+    edit_distance,
+    edit_distance_within,
+    min_edits_destroying,
+    min_prefix_length_strings,
+    positional_qgrams,
+    string_join,
+)
+
+ALPHABET = "abc"
+words = st.text(alphabet=ALPHABET, min_size=0, max_size=10)
+
+
+def reference_edit_distance(a: str, b: str) -> int:
+    """Straightforward full-matrix DP as an independent oracle."""
+    dp = [[0] * (len(b) + 1) for _ in range(len(a) + 1)]
+    for i in range(len(a) + 1):
+        dp[i][0] = i
+    for j in range(len(b) + 1):
+        dp[0][j] = j
+    for i in range(1, len(a) + 1):
+        for j in range(1, len(b) + 1):
+            dp[i][j] = min(
+                dp[i - 1][j] + 1,
+                dp[i][j - 1] + 1,
+                dp[i - 1][j - 1] + (a[i - 1] != b[j - 1]),
+            )
+    return dp[-1][-1]
+
+
+class TestEditDistance:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("", "", 0),
+            ("abc", "abc", 0),
+            ("abc", "abd", 1),
+            ("abc", "ab", 1),
+            ("", "xyz", 3),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+        ],
+    )
+    def test_known_distances(self, a, b, expected):
+        assert edit_distance(a, b) == expected
+
+    @settings(max_examples=80, deadline=None)
+    @given(words, words)
+    def test_matches_reference(self, a, b):
+        assert edit_distance(a, b) == reference_edit_distance(a, b)
+
+    @settings(max_examples=50, deadline=None)
+    @given(words, words)
+    def test_symmetry(self, a, b):
+        assert edit_distance(a, b) == edit_distance(b, a)
+
+
+class TestBandedDistance:
+    def test_negative_tau_rejected(self):
+        with pytest.raises(ParameterError):
+            edit_distance_within("a", "b", -1)
+
+    @settings(max_examples=80, deadline=None)
+    @given(words, words, st.integers(min_value=0, max_value=4))
+    def test_threshold_contract(self, a, b, tau):
+        exact = reference_edit_distance(a, b)
+        got = edit_distance_within(a, b, tau)
+        if exact <= tau:
+            assert got == exact
+        else:
+            assert got == tau + 1
+
+    def test_length_difference_shortcut(self):
+        assert edit_distance_within("aaaaaaa", "a", 2) == 3
+
+
+class TestPositionalQGrams:
+    def test_basic(self):
+        assert positional_qgrams("abcd", 2) == [("ab", 0), ("bc", 1), ("cd", 2)]
+
+    def test_short_string_has_no_grams(self):
+        assert positional_qgrams("a", 2) == []
+
+    def test_invalid_q(self):
+        with pytest.raises(ParameterError):
+            positional_qgrams("abc", 0)
+
+
+class TestMinEditsDestroying:
+    def test_empty(self):
+        assert min_edits_destroying([], 2) == 0
+
+    def test_single_gram(self):
+        assert min_edits_destroying([("ab", 0)], 2) == 1
+
+    def test_overlapping_grams_one_edit(self):
+        # Grams at positions 0 and 1 with q=2 share position 1.
+        assert min_edits_destroying([("ab", 0), ("bc", 1)], 2) == 1
+
+    def test_disjoint_grams_need_two(self):
+        assert min_edits_destroying([("ab", 0), ("cd", 5)], 2) == 2
+
+    def test_chain_every_other(self):
+        # Positions 0..4 with q=2: intervals [0,1]..[4,5]; stabs at 1 and
+        # 3 cover the first four, [4,5] needs a third.
+        grams = [("xx", p) for p in range(5)]
+        assert min_edits_destroying(grams, 2) == 3
+        # One gram fewer: two stabs suffice.
+        assert min_edits_destroying(grams[:4], 2) == 2
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.text(alphabet="ab", min_size=2, max_size=8),
+           st.integers(min_value=0, max_value=3),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    def test_sound_against_actual_edits(self, s, num_edits, seed):
+        """Applying k edits to s destroys at most the grams the greedy
+        bound says k edits can destroy (i.e., if min_edits > k, some
+        gram must survive as a substring)."""
+        rng = random.Random(seed)
+        q = 2
+        grams = positional_qgrams(s, q)
+        if not grams or min_edits_destroying(grams, q) <= num_edits:
+            return
+        # Apply num_edits random substitutions.
+        t = list(s)
+        for _ in range(num_edits):
+            pos = rng.randrange(len(t))
+            t[pos] = rng.choice("ab")
+        modified = "".join(t)
+        assert any(g in modified for g, _ in grams)
+
+
+class TestMinPrefixLength:
+    def test_basic_case(self):
+        grams = positional_qgrams("abcdefgh", 2)
+        length = min_prefix_length_strings(grams, tau=1, q=2)
+        assert length is not None
+        assert 2 <= length <= 1 * 2 + 1
+
+    def test_underflow(self):
+        grams = positional_qgrams("ab", 2)  # one gram, destroyable by 1 edit
+        assert min_prefix_length_strings(grams, tau=1, q=2) is None
+
+    def test_negative_tau(self):
+        with pytest.raises(ParameterError):
+            min_prefix_length_strings([], -1, 2)
+
+
+class TestStringJoin:
+    def naive_join(self, strings, tau):
+        return {
+            (i, j)
+            for i in range(len(strings))
+            for j in range(i + 1, len(strings))
+            if reference_edit_distance(strings[i], strings[j]) <= tau
+        }
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            string_join([], tau=-1)
+        with pytest.raises(ParameterError):
+            string_join([], tau=1, q=0)
+
+    def test_small_dictionary(self):
+        strings = ["kitten", "sitting", "mitten", "bitten", "flaw", "lawn"]
+        pairs, stats = string_join(strings, tau=2, q=2)
+        expected = {(i, j) for i, j in self.naive_join(strings, 2)}
+        assert {(min(a, b), max(a, b)) for a, b in pairs} == expected
+        assert stats.results == len(pairs)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.text(alphabet=ALPHABET, min_size=0, max_size=8),
+                 min_size=0, max_size=10),
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=1, max_value=3),
+    )
+    def test_matches_naive(self, strings, tau, q):
+        for location_prefix in (False, True):
+            pairs, _ = string_join(
+                strings, tau=tau, q=q, location_prefix=location_prefix
+            )
+            got = {(min(a, b), max(a, b)) for a, b in pairs}
+            assert got == self.naive_join(strings, tau)
+
+    def test_location_prefix_never_longer(self):
+        rng = random.Random(4)
+        strings = [
+            "".join(rng.choice("abcdef") for _ in range(rng.randint(6, 14)))
+            for _ in range(40)
+        ]
+        _, loc = string_join(strings, tau=2, q=2, location_prefix=True)
+        _, basic = string_join(strings, tau=2, q=2, location_prefix=False)
+        assert loc.avg_prefix_length <= basic.avg_prefix_length
+        assert loc.results == basic.results
+
+
+class TestPositionFiltering:
+    def test_exact_positions_match(self):
+        from repro.strings import positional_qgrams
+        from repro.strings.qgrams import positional_common_count
+
+        a = positional_qgrams("abcd", 2)
+        b = positional_qgrams("abcd", 2)
+        assert positional_common_count(a, b, tau=0) == 3
+
+    def test_shifted_positions_respect_tau(self):
+        from repro.strings import positional_qgrams
+        from repro.strings.qgrams import positional_common_count
+
+        a = positional_qgrams("abc", 2)    # ab@0, bc@1
+        b = positional_qgrams("xxabc", 2)  # ab@2, bc@3
+        assert positional_common_count(a, b, tau=1) == 0
+        assert positional_common_count(a, b, tau=2) == 2
+
+    def test_duplicate_grams_matched_at_most_once(self):
+        from repro.strings.qgrams import positional_common_count
+
+        a = [("aa", 0), ("aa", 1)]
+        b = [("aa", 0)]
+        assert positional_common_count(a, b, tau=5) == 1
+
+    def test_negative_tau_rejected(self):
+        from repro.strings.qgrams import positional_common_count
+
+        with pytest.raises(ParameterError):
+            positional_common_count([], [], -1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.text(alphabet=ALPHABET, min_size=2, max_size=10),
+        st.text(alphabet=ALPHABET, min_size=2, max_size=10),
+        st.integers(min_value=0, max_value=3),
+    )
+    def test_position_filter_sound(self, a, b, tau):
+        """Gravano's bound: within tau, position-compatible common grams
+        reach max(|Q_a|, |Q_b|) - tau*q."""
+        from repro.strings import positional_qgrams
+        from repro.strings.qgrams import positional_common_count
+
+        if reference_edit_distance(a, b) > tau:
+            return
+        q = 2
+        ga, gb = positional_qgrams(a, q), positional_qgrams(b, q)
+        bound = max(len(ga), len(gb)) - tau * q
+        if bound > 0:
+            assert positional_common_count(ga, gb, tau) >= bound

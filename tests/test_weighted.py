@@ -1,0 +1,142 @@
+"""Tests for weighted graph edit distance."""
+
+import math
+from itertools import permutations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.exceptions import ParameterError
+from repro.ged import graph_edit_distance
+from repro.ged.weighted import CostModel, weighted_ged, weighted_induced_cost
+from repro.graph.graph import Graph
+
+from .conftest import build_graph, graph_pairs_within, path_graph
+
+
+def brute_force_weighted(r, s, costs):
+    r_vertices = list(r.vertices())
+    s_vertices = list(s.vertices())
+    n = len(r_vertices)
+    slots = s_vertices + [None] * n
+    best = None
+    seen = set()
+    for arrangement in permutations(slots, n):
+        if arrangement in seen:
+            continue
+        seen.add(arrangement)
+        mapping = dict(zip(r_vertices, arrangement))
+        cost = weighted_induced_cost(r, s, mapping, costs)
+        if best is None or cost < best:
+            best = cost
+    if best is None:
+        best = weighted_induced_cost(r, s, {}, costs)
+    return best
+
+
+def expensive_substitution_model():
+    return CostModel(
+        vertex_substitution=lambda a, b: 0.0 if a == b else 3.0,
+        edge_substitution=lambda a, b: 0.0 if a == b else 0.5,
+    )
+
+
+class TestCostModel:
+    def test_default_is_unit(self):
+        model = CostModel()
+        assert model.vertex_insertion("C") == 1.0
+        assert model.vertex_substitution("C", "C") == 0.0
+        assert model.vertex_substitution("C", "N") == 1.0
+
+    def test_validation_rejects_negative(self):
+        bad = CostModel(vertex_insertion=lambda label: -1.0)
+        g = path_graph(["A"])
+        with pytest.raises(ParameterError, match="negative"):
+            weighted_ged(g, g, costs=bad)
+
+    def test_validation_rejects_nonzero_identity_substitution(self):
+        bad = CostModel(vertex_substitution=lambda a, b: 1.0)
+        g = path_graph(["A"])
+        with pytest.raises(ParameterError, match="itself"):
+            weighted_ged(g, g, costs=bad)
+
+
+class TestUnitCostsMatchUnweighted:
+    @settings(max_examples=30, deadline=None)
+    @given(graph_pairs_within(tau_max=2, max_vertices=4))
+    def test_agrees_with_integer_ged(self, pair):
+        r, s, _ = pair
+        assert weighted_ged(r, s) == graph_edit_distance(r, s)
+
+    def test_threshold_semantics(self):
+        r = path_graph(["A", "B"])
+        s = path_graph(["A", "C"])
+        assert weighted_ged(r, s, threshold=1.0) == 1.0
+        assert weighted_ged(r, s, threshold=0.5) == math.inf
+
+    def test_negative_threshold_rejected(self):
+        g = path_graph(["A"])
+        with pytest.raises(ParameterError):
+            weighted_ged(g, g, threshold=-0.5)
+
+
+class TestNonUnitCosts:
+    def test_expensive_substitution_prefers_cheap_edge_ops(self):
+        costs = CostModel(
+            vertex_substitution=lambda a, b: 0.0 if a == b else 10.0,
+        )
+        r = path_graph(["A", "B"])  # A-B
+        s = build_graph(["A", "B"], [])  # A  B (no edge)
+        # Only one edge deletion needed: cost 1, not a substitution.
+        assert weighted_ged(r, s, costs=costs) == 1.0
+
+    def test_fractional_costs(self):
+        costs = CostModel(edge_deletion=lambda label: 0.25)
+        r = path_graph(["A", "B"])
+        s = build_graph(["A", "B"], [])
+        assert weighted_ged(r, s, costs=costs) == 0.25
+
+    def test_label_dependent_costs(self):
+        costs = CostModel(
+            vertex_deletion=lambda label: 5.0 if label == "precious" else 1.0,
+        )
+        r = build_graph(["precious"], [])
+        s = Graph()
+        assert weighted_ged(r, s, costs=costs) == 5.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(graph_pairs_within(tau_max=2, max_vertices=3))
+    def test_matches_brute_force_with_skewed_model(self, pair):
+        r, s, _ = pair
+        costs = expensive_substitution_model()
+        assert weighted_ged(r, s, costs=costs) == pytest.approx(
+            brute_force_weighted(r, s, costs)
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph_pairs_within(tau_max=2, max_vertices=3))
+    def test_lower_costs_never_increase_distance(self, pair):
+        r, s, _ = pair
+        cheap = CostModel(
+            vertex_insertion=lambda label: 0.5,
+            vertex_deletion=lambda label: 0.5,
+            edge_insertion=lambda label: 0.5,
+            edge_deletion=lambda label: 0.5,
+            vertex_substitution=lambda a, b: 0.0 if a == b else 0.5,
+            edge_substitution=lambda a, b: 0.0 if a == b else 0.5,
+        )
+        assert weighted_ged(r, s, costs=cheap) <= weighted_ged(r, s)
+
+
+class TestInducedCost:
+    def test_validates_mapping(self):
+        g = path_graph(["A", "B"])
+        with pytest.raises(ParameterError, match="total"):
+            weighted_induced_cost(g, g, {0: 0}, CostModel())
+        with pytest.raises(ParameterError, match="injective"):
+            weighted_induced_cost(g, g, {0: 0, 1: 0}, CostModel())
+
+    def test_identity_mapping_is_free(self):
+        g = path_graph(["A", "B", "C"])
+        cost = weighted_induced_cost(g, g.copy(), {0: 0, 1: 1, 2: 2}, CostModel())
+        assert cost == 0.0
