@@ -1,0 +1,38 @@
+"""AST-based invariant checker for the filter–verification pipeline.
+
+GSimJoin's correctness rests on invariants the test suite can only
+sample: every filter must stay a true GED lower bound, filters must
+never mutate their inputs, library randomness must be seed-threaded,
+and the package layering must stay acyclic.  This package enforces them
+statically on every commit:
+
+* :mod:`repro.analysis.engine` — file walking, AST parsing, per-line
+  ``# repro: ignore[RULE]`` suppressions;
+* :mod:`repro.analysis.registry` — the rule base class and registry;
+* :mod:`repro.analysis.rules` — the repo-specific rules (layering,
+  filter purity, determinism, exception discipline, hot-path
+  allocation, float equality, annotation coverage, docstrings);
+* :mod:`repro.analysis.reporters` — text and JSON output;
+* ``python -m repro.analysis src/repro`` — the CI gate (exit 1 on any
+  finding).
+
+See ``docs/STATIC_ANALYSIS.md`` for each rule's rationale and the
+dependency DAG the layering rule enforces.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import Finding, ModuleInfo, run_analysis
+from repro.analysis.registry import Rule, all_rules, register
+from repro.analysis.reporters import render_json, render_text
+
+__all__ = [
+    "Finding",
+    "ModuleInfo",
+    "Rule",
+    "all_rules",
+    "register",
+    "render_json",
+    "render_text",
+    "run_analysis",
+]

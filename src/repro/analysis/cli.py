@@ -1,0 +1,77 @@
+"""Command line interface: ``python -m repro.analysis [paths]``.
+
+Exits 0 when the tree is clean, 1 when any finding survives
+suppressions — suitable as a CI gate (see ``.github/workflows/ci.yml``).
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.engine import run_analysis
+from repro.analysis.registry import all_rules
+from repro.analysis.reporters import render_json, render_text
+from repro.exceptions import ParameterError
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Repo-specific static analysis for the GSimJoin codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyse (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the analysis; returns the process exit code."""
+    parser = _build_parser()
+    options = parser.parse_args(argv)
+
+    rules = all_rules()
+    if options.list_rules:
+        width = max(len(rule_id) for rule_id in rules)
+        for rule_id in sorted(rules):
+            print(f"{rule_id:<{width}}  {rules[rule_id].description}")
+        return 0
+
+    if options.select is not None:
+        selected = {rule.strip() for rule in options.select.split(",") if rule.strip()}
+        unknown = selected - set(rules)
+        if unknown:
+            parser.error(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+        rules = {rule_id: rules[rule_id] for rule_id in selected}
+
+    try:
+        findings = run_analysis([Path(p) for p in options.paths], rules)
+    except ParameterError as exc:
+        parser.error(str(exc))
+    renderer = render_json if options.format == "json" else render_text
+    print(renderer(findings))
+    return 1 if findings else 0

@@ -1,0 +1,176 @@
+"""Core of the repo-specific static-analysis pass.
+
+The engine walks Python files, parses them into ASTs, hands each module
+to every registered rule (:mod:`repro.analysis.registry`), and filters
+the resulting findings through per-line suppression comments:
+
+    ``# repro: ignore[RULE]``        suppress RULE on this line
+    ``# repro: ignore[R1, R2]``      suppress several rules
+    ``# repro: ignore``              suppress every rule on this line
+
+Files that do not parse produce a single non-suppressible
+``syntax-error`` finding, so a broken file can never silently pass the
+gate.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence
+
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "Finding",
+    "ModuleInfo",
+    "iter_python_files",
+    "load_module",
+    "module_name",
+    "run_analysis",
+]
+
+#: Matches a suppression comment; group 1 holds the bracketed rule list
+#: (``None`` for the blanket ``# repro: ignore`` form).
+_IGNORE_RE = re.compile(r"#\s*repro:\s*ignore(?:\[([A-Za-z0-9_\-, ]*)\])?")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """The conventional ``path:line: [rule] message`` form."""
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class ModuleInfo:
+    """A parsed module plus everything rules need to inspect it."""
+
+    path: Path
+    module: str  #: dotted module name, e.g. ``repro.core.join``
+    is_package: bool  #: whether the file is a package ``__init__.py``
+    tree: ast.Module
+    lines: List[str]  #: 1-indexed via ``lines[lineno - 1]``
+
+    @property
+    def layer(self) -> str:
+        """The top-level component under ``repro``.
+
+        ``repro.core.join`` -> ``core``; a top-level module such as
+        ``repro.cli`` -> ``cli``; the root package itself -> ``""``.
+        Modules outside the ``repro`` namespace return their first
+        dotted component.
+        """
+        parts = self.module.split(".")
+        if parts[0] != "repro":
+            return parts[0]
+        return parts[1] if len(parts) > 1 else ""
+
+
+def module_name(path: Path) -> str:
+    """Dotted module name of ``path``, found by walking up ``__init__.py``s."""
+    path = path.resolve()
+    parts = [] if path.name == "__init__.py" else [path.stem]
+    directory = path.parent
+    while (directory / "__init__.py").is_file():
+        parts.insert(0, directory.name)
+        parent = directory.parent
+        if parent == directory:
+            break
+        directory = parent
+    return ".".join(parts) if parts else path.stem
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths`` in sorted order."""
+    for root in paths:
+        if root.is_file():
+            if root.suffix == ".py":
+                yield root
+            continue
+        if not root.is_dir():
+            raise ParameterError(f"no such file or directory: {root}")
+        for candidate in sorted(root.rglob("*.py")):
+            if "__pycache__" in candidate.parts:
+                continue
+            yield candidate
+
+
+def load_module(path: Path) -> ModuleInfo:
+    """Parse ``path``; raises :class:`SyntaxError` on unparseable source."""
+    text = path.read_text(encoding="utf-8")
+    tree = ast.parse(text, filename=str(path))
+    return ModuleInfo(
+        path=path,
+        module=module_name(path),
+        is_package=path.name == "__init__.py",
+        tree=tree,
+        lines=text.splitlines(),
+    )
+
+
+def _suppressed_rules(line: str) -> Optional[FrozenSet[str]]:
+    """Rules suppressed by ``line``'s comment; ``None`` means "none"."""
+    match = _IGNORE_RE.search(line)
+    if match is None:
+        return None
+    listed = match.group(1)
+    if listed is None:
+        return frozenset()  # blanket: suppress everything
+    return frozenset(rule.strip() for rule in listed.split(",") if rule.strip())
+
+
+def _is_suppressed(finding: Finding, module: ModuleInfo) -> bool:
+    if finding.rule == "syntax-error":
+        return False
+    if not 1 <= finding.line <= len(module.lines):
+        return False
+    rules = _suppressed_rules(module.lines[finding.line - 1])
+    if rules is None:
+        return False
+    return not rules or finding.rule in rules
+
+
+def run_analysis(
+    paths: Sequence[Path],
+    rules: Optional[Dict[str, object]] = None,
+) -> List[Finding]:
+    """Run ``rules`` (default: all registered) over ``paths``.
+
+    Returns the surviving findings sorted by location.  Rules are
+    instances exposing ``check(module) -> Iterator[Finding]`` (see
+    :class:`repro.analysis.registry.Rule`).
+    """
+    if rules is None:
+        from repro.analysis.registry import all_rules
+
+        rules = all_rules()
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        try:
+            module = load_module(path)
+        except SyntaxError as error:
+            findings.append(
+                Finding(
+                    path=str(path),
+                    line=error.lineno or 1,
+                    rule="syntax-error",
+                    message=f"file does not parse: {error.msg}",
+                )
+            )
+            continue
+        for rule in rules.values():
+            for finding in rule.check(module):  # type: ignore[attr-defined]
+                if not _is_suppressed(finding, module):
+                    findings.append(finding)
+    findings.sort()
+    return findings

@@ -1,0 +1,53 @@
+"""Rule base class and the global rule registry.
+
+A rule is a small object with a stable ``id`` (used in reports and in
+``# repro: ignore[...]`` suppressions), a one-line ``description``, and
+a ``check`` method yielding :class:`~repro.analysis.engine.Finding`s for
+one parsed module.  Decorating the class with :func:`register` makes the
+CLI pick it up.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Type
+
+from repro.analysis.engine import Finding, ModuleInfo
+from repro.exceptions import ParameterError
+
+__all__ = ["Rule", "register", "all_rules"]
+
+
+class Rule:
+    """Base class for repo-specific static-analysis rules."""
+
+    id: str = ""
+    description: str = ""
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        """Yield every violation of this rule in ``module``."""
+        raise NotImplementedError
+
+    def finding(self, module: ModuleInfo, line: int, message: str) -> Finding:
+        """Convenience constructor stamped with this rule's id."""
+        return Finding(path=str(module.path), line=line, rule=self.id, message=message)
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding one instance of ``cls`` to the registry."""
+    rule = cls()
+    if not rule.id:
+        raise ParameterError(f"rule {cls.__name__} has an empty id")
+    if rule.id in _REGISTRY:
+        raise ParameterError(f"duplicate rule id {rule.id!r}")
+    _REGISTRY[rule.id] = rule
+    return cls
+
+
+def all_rules() -> Dict[str, Rule]:
+    """All registered rules by id (importing the rule modules on demand)."""
+    import repro.analysis.rules  # noqa: F401  (registration side effect)
+
+    return dict(_REGISTRY)

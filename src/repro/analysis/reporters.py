@@ -1,0 +1,42 @@
+"""Finding reporters: plain text for humans/CI logs, JSON for tooling."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.analysis.engine import Finding
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """``path:line: [rule] message`` per finding, plus a summary line."""
+    lines: List[str] = [finding.render() for finding in findings]
+    if findings:
+        by_rule: Dict[str, int] = {}
+        for finding in findings:
+            by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+        summary = ", ".join(
+            f"{rule}: {count}" for rule, count in sorted(by_rule.items())
+        )
+        lines.append(f"{len(findings)} finding(s) ({summary})")
+    else:
+        lines.append("0 findings")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """A JSON array of ``{path, line, rule, message}`` objects."""
+    return json.dumps(
+        [
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "rule": finding.rule,
+                "message": finding.message,
+            }
+            for finding in findings
+        ],
+        indent=2,
+    )

@@ -1,0 +1,31 @@
+"""The repo-specific rule set.
+
+Importing this package registers every rule with
+:mod:`repro.analysis.registry`; a new rule module only needs to be added
+to the import list below.
+
+(Plain ``import`` statements, not ``from . import name``: this module
+must not hold a ``from __future__ import annotations`` binding, which
+would shadow the :mod:`repro.analysis.rules.annotations` submodule in a
+self-referential ``from``-import and silently skip its registration.)
+"""
+
+import repro.analysis.rules.annotations  # noqa: F401
+import repro.analysis.rules.determinism  # noqa: F401
+import repro.analysis.rules.docstrings  # noqa: F401
+import repro.analysis.rules.exception_discipline  # noqa: F401
+import repro.analysis.rules.float_equality  # noqa: F401
+import repro.analysis.rules.hot_path  # noqa: F401
+import repro.analysis.rules.layering  # noqa: F401
+import repro.analysis.rules.purity  # noqa: F401
+
+__all__ = [
+    "annotations",
+    "determinism",
+    "docstrings",
+    "exception_discipline",
+    "float_equality",
+    "hot_path",
+    "layering",
+    "purity",
+]

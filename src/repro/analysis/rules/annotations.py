@@ -1,0 +1,75 @@
+"""Annotation coverage rule for the public filter/verification API.
+
+``repro.core``, ``repro.ged`` and ``repro.grams`` are the layers other
+code builds on; their public functions and methods must carry complete
+type annotations (every parameter and the return type) so ``mypy`` can
+actually check call sites — an unannotated def is invisible to it.
+Private helpers (leading underscore) and dunder methods other than
+``__init__`` are exempt.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import ast
+
+from repro.analysis.engine import Finding, ModuleInfo
+from repro.analysis.registry import Rule, register
+
+__all__ = ["AnnotationCoverageRule"]
+
+TARGET_PREFIXES = ("repro.core", "repro.ged", "repro.grams")
+
+
+def _public_functions(
+    tree: ast.Module,
+) -> Iterator[Tuple[ast.AST, str]]:
+    """Yield ``(def_node, qualified_name)`` for the module's public API."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not node.name.startswith("_"):
+                yield node, node.name
+        elif isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+            for item in node.body:
+                if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                name = item.name
+                if name == "__init__" or not name.startswith("_"):
+                    yield item, f"{node.name}.{name}"
+
+
+@register
+class AnnotationCoverageRule(Rule):
+    """Public core/ged/grams functions must be fully annotated."""
+
+    id = "annotations"
+    description = (
+        "public functions in repro.core/repro.ged/repro.grams need full "
+        "parameter and return annotations"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.module.startswith(TARGET_PREFIXES):
+            return
+        for node, qualname in _public_functions(module.tree):
+            missing: List[str] = []
+            arguments = node.args  # type: ignore[attr-defined]
+            positional = list(arguments.posonlyargs) + list(arguments.args)
+            for arg in positional + list(arguments.kwonlyargs):
+                if arg.arg in ("self", "cls"):
+                    continue
+                if arg.annotation is None:
+                    missing.append(arg.arg)
+            for vararg in (arguments.vararg, arguments.kwarg):
+                if vararg is not None and vararg.annotation is None:
+                    missing.append(vararg.arg)
+            if node.returns is None:  # type: ignore[attr-defined]
+                missing.append("return")
+            if missing:
+                yield self.finding(
+                    module,
+                    node.lineno,  # type: ignore[attr-defined]
+                    f"public function {qualname!r} missing annotations: "
+                    + ", ".join(missing),
+                )

@@ -1,0 +1,77 @@
+"""Determinism rule: no process-global randomness in library code.
+
+Everything in ``src/repro`` must be reproducible under a seed: joins
+feed benchmark figures, and the synthetic dataset builders promise
+"same seed, same collection".  The process-global RNG (``random.foo()``
+at module scope or inside functions, ``from random import choice``,
+or an unseeded ``random.Random()``) breaks that promise invisibly —
+RNG state must instead be threaded explicitly as a ``random.Random``
+(or integer seed) parameter, the way
+:func:`repro.graph.operations.perturb` does.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import ast
+
+from repro.analysis.engine import Finding, ModuleInfo
+from repro.analysis.registry import Rule, register
+
+__all__ = ["DeterminismRule"]
+
+
+@register
+class DeterminismRule(Rule):
+    """Randomness must be parameter-threaded, never process-global."""
+
+    id = "determinism"
+    description = (
+        "no global random.* calls or unseeded random.Random() in src/repro"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.module.startswith("repro"):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                bad = [a.name for a in node.names if a.name != "Random"]
+                if bad:
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        "importing global-RNG functions from 'random' "
+                        f"({', '.join(bad)}); thread a seeded random.Random "
+                        "parameter instead",
+                    )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "random"
+                    and func.attr != "Random"
+                ):
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        f"random.{func.attr}() uses the process-global RNG; "
+                        "thread a seeded random.Random parameter instead",
+                    )
+                elif (
+                    (
+                        isinstance(func, ast.Name)
+                        and func.id == "Random"
+                        or isinstance(func, ast.Attribute)
+                        and func.attr == "Random"
+                    )
+                    and not node.args
+                    and not node.keywords
+                ):
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        "unseeded random.Random(); pass an explicit seed so "
+                        "runs are reproducible",
+                    )

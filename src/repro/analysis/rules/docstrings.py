@@ -1,0 +1,71 @@
+"""Docstring presence rule.
+
+Every module in ``src/repro`` needs a module docstring, and every
+*exported* function or class — a name listed in ``__all__``, or any
+public top-level def when no ``__all__`` exists — needs its own.  The
+reproduction's value is that each function states which lemma/algorithm
+of the paper it implements; an undocumented export erodes exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Set
+
+import ast
+
+from repro.analysis.engine import Finding, ModuleInfo
+from repro.analysis.registry import Rule, register
+
+__all__ = ["DocstringRule"]
+
+
+def _declared_all(tree: ast.Module) -> Optional[Set[str]]:
+    """The literal names in ``__all__``, or ``None`` if not declared."""
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                if isinstance(node.value, (ast.List, ast.Tuple)):
+                    return {
+                        element.value
+                        for element in node.value.elts
+                        if isinstance(element, ast.Constant)
+                        and isinstance(element.value, str)
+                    }
+    return None
+
+
+@register
+class DocstringRule(Rule):
+    """Modules and exported functions/classes must have docstrings."""
+
+    id = "docstrings"
+    description = "module and exported function/class docstrings required"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.module.startswith("repro"):
+            return
+        if module.tree.body and ast.get_docstring(module.tree) is None:
+            yield self.finding(
+                module, 1, f"module {module.module} has no docstring"
+            )
+        exported = _declared_all(module.tree)
+        for node in module.tree.body:
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            name = node.name
+            is_exported = (
+                name in exported
+                if exported is not None
+                else not name.startswith("_")
+            )
+            if is_exported and ast.get_docstring(node) is None:
+                kind = "class" if isinstance(node, ast.ClassDef) else "function"
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"exported {kind} {name!r} has no docstring",
+                )

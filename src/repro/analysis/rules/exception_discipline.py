@@ -1,0 +1,82 @@
+"""Exception discipline rule.
+
+Library code raises only :mod:`repro.exceptions` types (so callers can
+catch ``ReproError`` and let programming errors propagate — the
+package's documented contract), plus the two conventional
+programmer-error escapes ``NotImplementedError`` (abstract methods) and
+``AssertionError`` (states proven unreachable).  Bare ``except:``
+clauses are banned outright: they swallow ``KeyboardInterrupt`` and
+``SystemExit`` and hide genuine bugs.
+
+Re-raises (``raise`` with no operand, or re-raising a name bound by an
+``except ... as name`` handler) are always allowed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Set
+
+import ast
+
+import repro.exceptions as _exceptions
+from repro.analysis.engine import Finding, ModuleInfo
+from repro.analysis.registry import Rule, register
+
+__all__ = ["ExceptionDisciplineRule", "ALLOWED_EXCEPTIONS"]
+
+#: Exception class names library code may raise: every type defined in
+#: :mod:`repro.exceptions` (tracked dynamically so new types are picked
+#: up) plus the programmer-error escapes.
+ALLOWED_EXCEPTIONS: Set[str] = {
+    name
+    for name, obj in vars(_exceptions).items()
+    if isinstance(obj, type) and issubclass(obj, BaseException)
+} | {"NotImplementedError", "AssertionError"}
+
+
+def _raised_name(exc: ast.expr) -> str:
+    """The name of the exception being raised, or '' if not a plain name."""
+    target = exc.func if isinstance(exc, ast.Call) else exc
+    if isinstance(target, ast.Name):
+        return target.id
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    return ""
+
+
+@register
+class ExceptionDisciplineRule(Rule):
+    """Only repro.exceptions types raised; no bare except."""
+
+    id = "exceptions"
+    description = (
+        "library code raises only repro.exceptions types; bare except banned"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.module.startswith("repro"):
+            return
+        handler_names: Set[str] = {
+            node.name
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.ExceptHandler) and node.name
+        }
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    "bare 'except:' swallows KeyboardInterrupt/SystemExit; "
+                    "catch a concrete exception type",
+                )
+            elif isinstance(node, ast.Raise) and node.exc is not None:
+                name = _raised_name(node.exc)
+                if not name or name in ALLOWED_EXCEPTIONS or name in handler_names:
+                    continue
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"raises {name}; library code raises repro.exceptions "
+                    "types only (or NotImplementedError/AssertionError for "
+                    "programmer errors)",
+                )

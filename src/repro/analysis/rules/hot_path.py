@@ -1,0 +1,82 @@
+"""Hot-path allocation rule.
+
+``core.join``, ``core.search`` and ``ged.astar`` are the per-pair /
+per-state inner loops of the whole system; an accidental
+``list(...)``/``dict(...)``/``set(...)`` copy or a repeated
+``extract_qgrams`` call inside one of their ``for``/``while`` loops
+multiplies by the candidate (or A* state) count.  Copies and
+extractions belong before the loop; genuinely-needed per-iteration
+containers should be built with literals or comprehensions (which this
+rule deliberately does not flag).
+
+A justified in-loop copy can be waived with
+``# repro: ignore[hot-path-alloc]`` on the offending line.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import ast
+
+from repro.analysis.engine import Finding, ModuleInfo
+from repro.analysis.registry import Rule, register
+
+__all__ = ["HotPathAllocationRule"]
+
+#: The modules whose loops are the system's hot paths.
+TARGET_MODULES = {"repro.core.join", "repro.core.search", "repro.ged.astar"}
+
+_COPY_BUILTINS = {"list", "dict", "set", "frozenset", "tuple"}
+
+_LOOPS = (ast.For, ast.AsyncFor, ast.While)
+
+
+@register
+class HotPathAllocationRule(Rule):
+    """No container copies or q-gram re-extraction inside hot loops."""
+
+    id = "hot-path-alloc"
+    description = (
+        "flag list()/dict() copies and extract_qgrams calls inside loops "
+        "in core.join/core.search/ged.astar"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.module not in TARGET_MODULES:
+            return
+        yield from self._visit(module, module.tree, in_loop=False)
+
+    def _visit(
+        self, module: ModuleInfo, node: ast.AST, in_loop: bool
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            if in_loop:
+                yield from self._check_call(module, child)
+            yield from self._visit(
+                module, child, in_loop=in_loop or isinstance(child, _LOOPS)
+            )
+
+    def _check_call(self, module: ModuleInfo, node: ast.AST) -> Iterator[Finding]:
+        if not isinstance(node, ast.Call):
+            return
+        func = node.func
+        name = ""
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name in _COPY_BUILTINS and (node.args or node.keywords):
+            yield self.finding(
+                module,
+                node.lineno,
+                f"{name}(...) copy inside a hot loop; hoist it above the "
+                "loop or reuse the original container",
+            )
+        elif name == "extract_qgrams":
+            yield self.finding(
+                module,
+                node.lineno,
+                "extract_qgrams inside a hot loop; extract once per graph "
+                "and reuse the profile",
+            )

@@ -30,7 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.count_filter import passes_size_filter
 from repro.core.inverted_index import InvertedIndex
-from repro.core.label_filter import global_label_lower_bound
+from repro.grams.labels import global_label_lower_bound
 from repro.core.result import JoinResult, JoinStatistics
 from repro.exceptions import ParameterError
 from repro.ged.astar import graph_edit_distance_detailed

@@ -29,6 +29,7 @@ __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro`` argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="GSimJoin: graph similarity joins with edit distance constraints",

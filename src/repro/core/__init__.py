@@ -10,18 +10,18 @@ from repro.core.count_filter import (
 )
 from repro.core.inverted_index import InvertedIndex
 from repro.core.join import GSimJoinOptions, gsim_join, gsim_join_rs
-from repro.core.label_filter import (
+from repro.grams.labels import (
     connected_gram_components,
     gamma,
     global_label_lower_bound,
     local_label_lower_bound,
 )
-from repro.core.minedit import min_edit_exact, min_edit_lower_bound, min_prefix_length
-from repro.core.mismatch import MismatchResult, compare_qgrams, mismatching_grams
+from repro.grams.minedit import min_edit_exact, min_edit_lower_bound, min_prefix_length
+from repro.grams.mismatch import MismatchResult, compare_qgrams, mismatching_grams
 from repro.core.ordering import QGramOrdering, build_ordering
 from repro.core.parallel import gsim_join_parallel
 from repro.core.prefix import PrefixInfo, basic_prefix, minedit_prefix
-from repro.core.qgrams import QGram, QGramProfile, extract_qgrams, qgram_key
+from repro.grams.qgrams import QGram, QGramProfile, extract_qgrams, qgram_key
 from repro.core.result import JoinResult, JoinStatistics
 from repro.core.search import GSimIndex
 from repro.core.verify import VerifyOutcome, verify_pair

@@ -12,8 +12,9 @@ a candidate regardless of overlap.
 
 from __future__ import annotations
 
-from repro.core.qgrams import QGramProfile
+from repro.grams.qgrams import QGramProfile
 from repro.exceptions import ParameterError
+from repro.graph.graph import Graph
 
 __all__ = [
     "common_qgram_count",
@@ -51,7 +52,7 @@ def passes_count_filter(p: QGramProfile, p2: QGramProfile, tau: int) -> bool:
     return common_qgram_count(p, p2) >= bound
 
 
-def size_lower_bound(r, s) -> int:
+def size_lower_bound(r: Graph, s: Graph) -> int:
     """``||V(r)|−|V(s)|| + ||E(r)|−|E(s)||`` — a trivial GED lower bound.
 
     Every vertex insertion/deletion changes ``|V|`` by one and every edge
@@ -61,6 +62,6 @@ def size_lower_bound(r, s) -> int:
     return abs(r.num_vertices - s.num_vertices) + abs(r.num_edges - s.num_edges)
 
 
-def passes_size_filter(r, s, tau: int) -> bool:
+def passes_size_filter(r: Graph, s: Graph, tau: int) -> bool:
     """True iff the pair survives size filtering."""
     return size_lower_bound(r, s) <= tau

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.count_filter import passes_size_filter
-from repro.core.label_filter import global_label_lower_bound
+from repro.grams.labels import global_label_lower_bound
 from repro.exceptions import ParameterError
 from repro.ged.approximate import ged_bounds
 from repro.ged.astar import graph_edit_distance

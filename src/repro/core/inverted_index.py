@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, Iterator, List
 
-from repro.core.qgrams import Key
+from repro.grams.qgrams import Key
 
 __all__ = ["InvertedIndex"]
 

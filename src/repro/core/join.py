@@ -32,7 +32,7 @@ from repro.core.count_filter import passes_size_filter
 from repro.core.inverted_index import InvertedIndex
 from repro.core.ordering import build_ordering
 from repro.core.prefix import PrefixInfo, basic_prefix, minedit_prefix
-from repro.core.qgrams import QGramProfile, extract_qgrams
+from repro.grams.qgrams import QGramProfile, extract_qgrams
 from repro.core.result import JoinResult, JoinStatistics
 from repro.core.verify import verify_pair
 from repro.exceptions import ParameterError

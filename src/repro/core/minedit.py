@@ -1,123 +1,18 @@
-"""Minimum edit filtering (Section IV, Algorithms 2–4).
+"""Backwards-compatible re-export; the code moved to :mod:`repro.grams.minedit`.
 
-The *minimum graph edit operation* problem asks, for a multiset ``Q`` of
-q-gram instances, the minimum number of edit operations affecting every
-q-gram in ``Q``.  Since the q-grams affected by any edit operation are a
-subset of those affected by relabeling one of its vertices (Theorem 2's
-key observation), the problem is exactly a minimum *hitting set* over the
-q-grams' vertex sets — NP-hard in general, but only its comparison with
-``τ`` matters, so a bounded exact search is cheap.  A greedy run divided
-by the Slavík ratio gives a fast certified lower bound (Algorithm 2).
-
-``min_prefix_length`` (Algorithm 4) shrinks the basic prefix
-``τ·D_path + 1`` to the shortest prefix whose q-grams already require
-``τ + 1`` edit operations — Lemma 3 then allows probing only that prefix.
+The bounded minimum-edit (hitting set) solvers back both minimum edit
+filtering (``repro.core``) and local label filtering inside the improved
+A* heuristic (``repro.ged``); they now live in :mod:`repro.grams` so
+that ``ged`` never imports ``core`` (see ``docs/STATIC_ANALYSIS.md`` for
+the dependency DAG).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from repro.grams.minedit import (
+    min_edit_exact,
+    min_edit_lower_bound,
+    min_prefix_length,
+)
 
-from repro.core.qgrams import QGram
-from repro.exceptions import ParameterError
-from repro.setcover import exact_min_hitting_set, greedy_lower_bound
-
-__all__ = [
-    "min_edit_exact",
-    "min_edit_lower_bound",
-    "min_prefix_length",
-]
-
-
-def min_edit_exact(grams: Sequence[QGram], cap: int) -> int:
-    """Exact ``min-edit(Q)``, cut off at ``cap`` (Algorithm 3).
-
-    Returns the exact minimum number of edit operations affecting every
-    q-gram in ``grams`` if it is ``<= cap``, else ``cap + 1``.
-    """
-    if not grams:
-        return 0
-    return exact_min_hitting_set([g.vertex_set for g in grams], cap)
-
-
-def min_edit_lower_bound(grams: Sequence[QGram]) -> int:
-    """Greedy/Slavík lower bound on ``min-edit(Q)`` (Algorithm 2)."""
-    if not grams:
-        return 0
-    return greedy_lower_bound([g.vertex_set for g in grams])
-
-
-def min_prefix_length(
-    sorted_grams: Sequence[QGram],
-    tau: int,
-    d_path: int,
-) -> Optional[int]:
-    """Minimum edit filtering prefix length (Algorithm 4).
-
-    Parameters
-    ----------
-    sorted_grams:
-        The graph's q-gram instances sorted in the global ordering.
-    tau:
-        The edit distance threshold.
-    d_path:
-        The graph's ``D_path`` (bounds the basic prefix).
-
-    Returns
-    -------
-    The smallest prefix length ``p`` such that affecting all q-grams in
-    the ``p``-prefix requires at least ``τ + 1`` edit operations, or
-    ``None`` when no prefix achieves that (*underflow*: fewer than
-    ``τ·D_path + 1`` q-grams exist and even the full multiset can be
-    wiped out by ``τ`` operations, so the graph cannot be pruned by
-    prefix filtering at all).
-
-    Notes
-    -----
-    Exactly as in the paper, a first binary search with the cheap greedy
-    lower bound narrows the range, and a second with the exact solver
-    pins the answer.  The exact predicate is monotone (Proposition 1),
-    making the second search correct; the first merely supplies an upper
-    bracket, which we re-validate with the exact solver since the greedy
-    bound itself need not be monotone.
-    """
-    if tau < 0:
-        raise ParameterError(f"tau must be >= 0, got {tau}")
-    total = len(sorted_grams)
-    hard_right = min(tau * d_path + 1, total)
-    if hard_right == 0:
-        return None
-
-    def exact_exceeds(p: int) -> bool:
-        return min_edit_exact(sorted_grams[:p], tau) > tau
-
-    # Underflow: even the longest admissible prefix can be affected by
-    # <= tau operations -> prefix filtering cannot prune this graph.
-    if not exact_exceeds(hard_right):
-        return None
-
-    lo = min(tau + 1, hard_right)
-
-    # Round 1: greedy lower bound narrows the right bracket.
-    left, right = lo, hard_right
-    while left < right:
-        mid = (left + right) // 2
-        if min_edit_lower_bound(sorted_grams[:mid]) <= tau:
-            left = mid + 1
-        else:
-            right = mid
-    bracket = left
-    if not exact_exceeds(bracket):
-        # The greedy bound under-shot here (it is not monotone); fall
-        # back to the guaranteed bracket.
-        bracket = hard_right
-
-    # Round 2: exact binary search within [lo, bracket].
-    left, right = lo, bracket
-    while left < right:
-        mid = (left + right) // 2
-        if exact_exceeds(mid):
-            right = mid
-        else:
-            left = mid + 1
-    return left
+__all__ = ["min_edit_exact", "min_edit_lower_bound", "min_prefix_length"]

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Tuple
 
-from repro.core.qgrams import Key, QGram, QGramProfile
+from repro.grams.qgrams import Key, QGram, QGramProfile
 
 __all__ = ["QGramOrdering", "build_ordering"]
 

@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.count_filter import passes_size_filter
 from repro.core.inverted_index import InvertedIndex
 from repro.core.join import GSimJoinOptions, _prepare_profiles, _validate
-from repro.core.qgrams import extract_qgrams
+from repro.grams.qgrams import extract_qgrams
 from repro.core.result import JoinResult, JoinStatistics
 from repro.core.verify import verify_pair
 from repro.exceptions import ParameterError

@@ -18,8 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.minedit import min_prefix_length
-from repro.core.qgrams import QGramProfile
+from repro.grams.minedit import min_prefix_length
+from repro.grams.qgrams import QGramProfile
 from repro.exceptions import ParameterError
 
 __all__ = ["PrefixInfo", "basic_prefix", "minedit_prefix"]

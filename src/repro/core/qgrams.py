@@ -1,205 +1,13 @@
-"""Path-based q-grams (Definition 1) and per-graph q-gram profiles.
+"""Backwards-compatible re-export; the code moved to :mod:`repro.grams.qgrams`.
 
-A path-based q-gram is a simple path of length ``q``.  Reading the vertex
-and edge labels from either end produces two label sequences; the
-lexicographically smaller one is the q-gram's *key* (so the two
-orientations of the same undirected path compare equal).  A graph's
-q-grams form a *multiset* — unlike string q-grams they carry no starting
-position, so equal-label paths are genuinely duplicated.
-
-:class:`QGramProfile` bundles everything the filters need about one
-graph: the instance list (with concrete vertex tuples, required by
-minimum edit filtering and local label filtering), the key multiset, the
-per-vertex counts ``|Q_u|`` and their maximum ``D_path`` (Theorem 1).
+The q-gram primitives are shared by the filter layer (``repro.core``)
+and the GED layer (``repro.ged``); they now live in :mod:`repro.grams`
+so that ``ged`` never imports ``core`` (see ``docs/STATIC_ANALYSIS.md``
+for the dependency DAG).
 """
 
 from __future__ import annotations
 
-from collections import Counter
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Tuple
+from repro.grams.qgrams import Key, QGram, QGramProfile, extract_qgrams, qgram_key
 
-from repro.exceptions import ParameterError
-from repro.graph.graph import Graph, Vertex
-
-__all__ = ["QGram", "QGramProfile", "extract_qgrams", "qgram_key"]
-
-#: A q-gram key: the canonical interleaved label sequence
-#: ``(l(v0), l(e01), l(v1), ..., l(vq))``.
-Key = Tuple[object, ...]
-
-
-def qgram_key(g: Graph, path: Tuple[Vertex, ...]) -> Key:
-    """Canonical label sequence of a path.
-
-    Undirected: the lexicographically smaller of the two reading
-    directions (label types may be heterogeneous, so the comparison is on
-    ``repr`` strings; the returned key keeps the original label objects).
-    Directed: the forward sequence — a directed path has only one
-    reading.
-    """
-    labels: List[object] = []
-    for i, v in enumerate(path):
-        if i:
-            labels.append(g.edge_label(path[i - 1], v))
-        labels.append(g.vertex_label(v))
-    forward = tuple(labels)
-    if g.is_directed:
-        return forward
-    backward = tuple(reversed(labels))
-    if tuple(map(repr, backward)) < tuple(map(repr, forward)):
-        return backward
-    return forward
-
-
-@dataclass(frozen=True)
-class QGram:
-    """One q-gram instance: a canonical key plus its concrete path."""
-
-    key: Key
-    path: Tuple[Vertex, ...]
-
-    @property
-    def vertex_set(self) -> FrozenSet[Vertex]:
-        """The vertices covered by this q-gram (hitting-set elements)."""
-        return frozenset(self.path)
-
-    def edge_pairs(self) -> List[Tuple[Vertex, Vertex]]:
-        """The path's edges as endpoint pairs, in traversal order.
-
-        Callers that need duplicate-free edge sets across q-grams should
-        canonicalize each pair with ``graph.canonical_edge`` (directed
-        graphs keep the orientation, undirected graphs normalize it).
-        """
-        return [
-            (self.path[i], self.path[i + 1]) for i in range(len(self.path) - 1)
-        ]
-
-
-@dataclass
-class QGramProfile:
-    """All q-gram derived quantities of one graph.
-
-    Attributes
-    ----------
-    graph:
-        The profiled graph.
-    q:
-        The q-gram length used.
-    grams:
-        Every q-gram instance (the multiset ``Q_r``), in enumeration
-        order until :meth:`repro.core.ordering.QGramOrdering.sort_profile`
-        reorders them in the global q-gram ordering.
-    key_counts:
-        The key multiset as a :class:`collections.Counter`.
-    vertex_counts:
-        ``|Q_u|`` for every vertex ``u`` (vertices in no q-gram included
-        with count 0).
-    d_path:
-        ``D_path = max_u |Q_u|`` — the maximum number of q-grams a single
-        edit operation can affect (Theorem 1); 0 for a gram-less graph.
-    """
-
-    graph: Graph
-    q: int
-    grams: List[QGram]
-    key_counts: Counter = field(repr=False)
-    vertex_counts: Dict[Vertex, int] = field(repr=False)
-    d_path: int
-
-    @property
-    def size(self) -> int:
-        """``|Q_r|`` — the total number of q-gram instances."""
-        return len(self.grams)
-
-    def count_lower_bound(self, tau: int) -> int:
-        """This graph's side of the count filtering bound: |Q_r| − τ·D_path."""
-        return self.size - tau * self.d_path
-
-
-def _walk_grams(g: Graph, q: int, vertex_counts: Dict[Vertex, int]) -> List[QGram]:
-    """Fused path walk + key construction.
-
-    Carries the interleaved label sequence (and its repr view, for the
-    canonical-orientation comparison) along the DFS so shared path
-    prefixes never re-fetch labels — extraction is the hottest loop of
-    the whole system (it runs per graph at index time and per state in
-    the improved heuristic).
-    """
-    grams: List[QGram] = []
-    directed = g.is_directed
-    position = {v: i for i, v in enumerate(g.vertices())}
-    adjacency = {v: list(g.neighbor_items(v)) for v in g.vertices()}
-    vlabel = {v: g.vertex_label(v) for v in g.vertices()}
-
-    path: List[Vertex] = []
-    labels: List[object] = []
-    reprs: List[str] = []
-    on_path = set()
-
-    def extend(v: Vertex) -> None:
-        path.append(v)
-        on_path.add(v)
-        label = vlabel[v]
-        labels.append(label)
-        reprs.append(repr(label))
-        if len(path) == q + 1:
-            if directed or position[path[0]] < position[path[-1]]:
-                forward = tuple(labels)
-                if directed:
-                    key = forward
-                else:
-                    backward_r = reprs[::-1]
-                    key = tuple(reversed(labels)) if backward_r < reprs else forward
-                gram = QGram(key, tuple(path))
-                grams.append(gram)
-                for u in path:
-                    vertex_counts[u] += 1
-        else:
-            for u, edge_label in adjacency[v]:
-                if u not in on_path:
-                    labels.append(edge_label)
-                    reprs.append(repr(edge_label))
-                    extend(u)
-                    labels.pop()
-                    reprs.pop()
-        on_path.discard(v)
-        path.pop()
-        labels.pop()
-        reprs.pop()
-
-    for start in g.vertices():
-        extend(start)
-    return grams
-
-
-def extract_qgrams(g: Graph, q: int) -> QGramProfile:
-    """Extract the path-based q-gram profile of ``g``.
-
-    For ``q = 0`` every vertex is its own q-gram and ``D_path = 1``
-    (relabeling or deleting a vertex affects exactly its own 0-gram).
-
-    Raises
-    ------
-    ParameterError
-        If ``q`` is negative.
-    """
-    if q < 0:
-        raise ParameterError(f"q must be >= 0, got {q}")
-    vertex_counts: Dict[Vertex, int] = {v: 0 for v in g.vertices()}
-    if q == 0:
-        grams = [QGram((g.vertex_label(v),), (v,)) for v in g.vertices()]
-        for v in vertex_counts:
-            vertex_counts[v] = 1
-    else:
-        grams = _walk_grams(g, q, vertex_counts)
-    key_counts = Counter(gram.key for gram in grams)
-    d_path = max(vertex_counts.values(), default=0)
-    return QGramProfile(
-        graph=g,
-        q=q,
-        grams=grams,
-        key_counts=key_counts,
-        vertex_counts=vertex_counts,
-        d_path=d_path,
-    )
+__all__ = ["Key", "QGram", "QGramProfile", "extract_qgrams", "qgram_key"]

@@ -25,7 +25,7 @@ from repro.core.inverted_index import InvertedIndex
 from repro.core.join import GSimJoinOptions
 from repro.core.ordering import QGramOrdering, build_ordering
 from repro.core.prefix import PrefixInfo, basic_prefix, minedit_prefix
-from repro.core.qgrams import QGramProfile, extract_qgrams
+from repro.grams.qgrams import QGramProfile, extract_qgrams
 from repro.core.result import JoinStatistics
 from repro.core.verify import verify_pair
 from repro.exceptions import ParameterError

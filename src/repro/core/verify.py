@@ -14,13 +14,13 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from repro.core.label_filter import (
+from repro.grams.labels import (
     global_label_lower_bound,
     local_label_lower_bound,
     multicover_min_edit_bound,
 )
-from repro.core.mismatch import compare_qgrams
-from repro.core.qgrams import QGramProfile
+from repro.grams.mismatch import compare_qgrams
+from repro.grams.qgrams import QGramProfile
 from repro.core.result import JoinStatistics
 from repro.exceptions import ParameterError
 from repro.ged.astar import graph_edit_distance_detailed
@@ -66,7 +66,7 @@ def verify_pair(
     optimizations of Section VI-B.  ``use_multicover`` additionally
     applies the set-multicover minimum-edit bound over partially matched
     surplus keys — an extension beyond the paper's Algorithm 5 (see
-    :func:`repro.core.label_filter.multicover_min_edit_bound`).
+    :func:`repro.grams.labels.multicover_min_edit_bound`).
     ``stats``, when given, accrues the Cand-2 counter, filter prune
     counters, and GED timings.
     """

@@ -129,6 +129,7 @@ def graph_edit_distance_detailed(
 
     n = len(order)
     s_vertices = list(s.vertices())
+    s_vertex_set = frozenset(s_vertices)
     empty_used: frozenset = frozenset()
 
     counter = itertools.count()
@@ -172,7 +173,7 @@ def graph_edit_distance_detailed(
                 g2 += _completion_cost(s, new_used)
                 h2 = 0
             else:
-                h2 = heuristic(r, s, order[k + 1 :], set(s_vertices) - new_used)
+                h2 = heuristic(r, s, order[k + 1 :], s_vertex_set - new_used)
             f2 = g2 + h2
             if threshold is not None and f2 > threshold:
                 continue

@@ -25,11 +25,11 @@ it — under-estimates the remaining cost.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Callable, Optional, Sequence, Set
+from typing import AbstractSet, Callable, Optional, Sequence
 
-from repro.core.label_filter import gamma, local_label_lower_bound
-from repro.core.mismatch import compare_qgrams
-from repro.core.qgrams import extract_qgrams
+from repro.grams.labels import gamma, local_label_lower_bound
+from repro.grams.mismatch import compare_qgrams
+from repro.grams.qgrams import extract_qgrams
 from repro.graph.graph import Graph, Vertex
 
 __all__ = [
@@ -40,18 +40,18 @@ __all__ = [
 ]
 
 #: Heuristic signature: (r, s, unmapped r vertices, unused s vertices) -> int.
-Heuristic = Callable[[Graph, Graph, Sequence[Vertex], Set[Vertex]], int]
+Heuristic = Callable[[Graph, Graph, Sequence[Vertex], AbstractSet[Vertex]], int]
 
 
 def zero_heuristic(
-    r: Graph, s: Graph, r_rest: Sequence[Vertex], s_rest: Set[Vertex]
+    r: Graph, s: Graph, r_rest: Sequence[Vertex], s_rest: AbstractSet[Vertex]
 ) -> int:
     """The trivial heuristic (turns A* into uniform-cost search)."""
     return 0
 
 
 def _remaining_label_bound(
-    r: Graph, s: Graph, r_rest: Sequence[Vertex], s_rest: Set[Vertex]
+    r: Graph, s: Graph, r_rest: Sequence[Vertex], s_rest: AbstractSet[Vertex]
 ) -> int:
     r_set = set(r_rest)
     rv = Counter(r.vertex_label(v) for v in r_rest)
@@ -70,7 +70,7 @@ def _remaining_label_bound(
 
 
 def label_heuristic(
-    r: Graph, s: Graph, r_rest: Sequence[Vertex], s_rest: Set[Vertex]
+    r: Graph, s: Graph, r_rest: Sequence[Vertex], s_rest: AbstractSet[Vertex]
 ) -> int:
     """``Γ(L_V) + Γ(L_E)`` over the remaining parts (resident edges)."""
     return _remaining_label_bound(r, s, r_rest, s_rest)
@@ -115,7 +115,7 @@ def make_local_label_heuristic(
         return entry
 
     def improved_h(
-        r: Graph, s: Graph, r_rest: Sequence[Vertex], s_rest: Set[Vertex]
+        r: Graph, s: Graph, r_rest: Sequence[Vertex], s_rest: AbstractSet[Vertex]
     ) -> int:
         eps1 = _remaining_label_bound(r, s, r_rest, s_rest)
         if eps1 > tau or not r_rest or not s_rest:

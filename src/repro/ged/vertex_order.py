@@ -12,8 +12,8 @@ from __future__ import annotations
 
 from typing import List, Sequence, Set
 
-from repro.core.label_filter import connected_gram_components
-from repro.core.qgrams import QGram
+from repro.grams.labels import connected_gram_components
+from repro.grams.qgrams import QGram
 from repro.graph.graph import Graph, Vertex
 
 __all__ = ["input_vertex_order", "spanning_tree_vertex_order", "mismatch_vertex_order"]

@@ -1,0 +1,117 @@
+"""Mismatching q-gram extraction — the paper's ``CompareQGrams``.
+
+For a candidate pair the *mismatching* q-grams from ``r`` to ``s`` are
+the multiset difference ``Q_r \\ Q_s``: for every key, the instances of
+``r`` exceeding ``s``'s count of that key.  Their sizes ``ε₂ = |Q_r\\Q_s|``
+and ``ε₃ = |Q_s\\Q_r|`` re-express count filtering (``ε₂ ≤ τ·D_path(r)``),
+and the concrete instances feed minimum edit filtering (Section IV) and
+local label filtering (Section V).
+
+Which concrete instances are chosen for a key with partial overlap is
+immaterial to correctness: any ``c_r − c_s`` of them are unmatched under
+every key-level alignment, and the filters only use the instances'
+vertices and labels.  We keep the instances earliest in the global
+ordering for determinism.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.grams.qgrams import Key, QGram, QGramProfile
+
+__all__ = ["MismatchResult", "compare_qgrams", "mismatching_grams"]
+
+
+@dataclass(frozen=True)
+class MismatchResult:
+    """Output of ``CompareQGrams`` for an ordered pair of profiles.
+
+    ``absent_keys_r`` are the keys of ``r`` that do not occur in ``s`` at
+    all: *every* instance of such a key is guaranteed to be affected by
+    any edit script between the graphs, which is the precondition for
+    running minimum-edit reasoning on concrete instances (see
+    :func:`repro.grams.labels.local_label_lower_bound`).  For keys
+    present in both graphs with a surplus, only *some* unknown instances
+    are affected, so they contribute to counts and labels but not to the
+    per-instance hitting set.
+    """
+
+    mismatch_r: List[QGram]  #: instances of ``Q_r \ Q_s``
+    mismatch_s: List[QGram]  #: instances of ``Q_s \ Q_r``
+    epsilon_r: int  #: ``|Q_r \ Q_s|``
+    epsilon_s: int  #: ``|Q_s \ Q_r|``
+    absent_keys_r: frozenset  #: keys of r with zero occurrences in s
+    absent_keys_s: frozenset  #: keys of s with zero occurrences in r
+
+    def surplus_groups_r(
+        self, p_r: "QGramProfile", p_s: "QGramProfile"
+    ) -> List[Tuple[Sequence[QGram], int]]:
+        """Demand groups for the multicover bound, direction r -> s.
+
+        For every surplus key: (*all* of r's instances of the key, the
+        surplus count).  Any edit script must affect at least the
+        surplus count of instances of each group — the sound
+        generalization of instance-level min-edit to partially matched
+        keys (see :mod:`repro.setcover.multicover`).
+        """
+        return _surplus_groups(p_r, p_s)
+
+    def surplus_groups_s(
+        self, p_r: "QGramProfile", p_s: "QGramProfile"
+    ) -> List[Tuple[Sequence[QGram], int]]:
+        """Demand groups for the multicover bound, direction s -> r."""
+        return _surplus_groups(p_s, p_r)
+
+
+def _surplus_groups(
+    p: QGramProfile, other: QGramProfile
+) -> List[Tuple[Sequence[QGram], int]]:
+    surplus: Dict[Key, int] = {}
+    for key, count in p.key_counts.items():
+        extra = count - other.key_counts.get(key, 0)
+        if extra > 0:
+            surplus[key] = extra
+    if not surplus:
+        return []
+    by_key: Dict[Key, List[QGram]] = defaultdict(list)
+    for gram in p.grams:
+        if gram.key in surplus:
+            by_key[gram.key].append(gram)
+    return [(by_key[key], need) for key, need in surplus.items()]
+
+
+def mismatching_grams(p: QGramProfile, other: QGramProfile) -> List[QGram]:
+    """Instances of ``Q_p \\ Q_other`` (one direction of the difference)."""
+    surplus: Dict[Key, int] = {}
+    other_counts = other.key_counts
+    for key, count in p.key_counts.items():
+        extra = count - other_counts.get(key, 0)
+        if extra > 0:
+            surplus[key] = extra
+
+    if not surplus:
+        return []
+    picked: List[QGram] = []
+    taken: Dict[Key, int] = defaultdict(int)
+    for gram in p.grams:
+        want = surplus.get(gram.key, 0)
+        if taken[gram.key] < want:
+            taken[gram.key] += 1
+            picked.append(gram)
+    return picked
+
+
+def compare_qgrams(p_r: QGramProfile, p_s: QGramProfile) -> MismatchResult:
+    """Bidirectional mismatching q-grams with their counts (Algorithm 6)."""
+    mr = mismatching_grams(p_r, p_s)
+    ms = mismatching_grams(p_s, p_r)
+    absent_r = frozenset(
+        key for key in p_r.key_counts if key not in p_s.key_counts
+    )
+    absent_s = frozenset(
+        key for key in p_s.key_counts if key not in p_r.key_counts
+    )
+    return MismatchResult(mr, ms, len(mr), len(ms), absent_r, absent_s)

@@ -3,7 +3,7 @@
 A *simple path of length q* is a sequence of ``q + 1`` distinct vertices
 connected by ``q`` edges.  A path and its reverse are the same undirected
 path; the enumerator reports each exactly once.  Canonicalization into a
-label sequence (the actual q-gram) lives in :mod:`repro.core.qgrams`.
+label sequence (the actual q-gram) lives in :mod:`repro.grams.qgrams`.
 """
 
 from __future__ import annotations

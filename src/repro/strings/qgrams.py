@@ -104,7 +104,7 @@ def min_edits_destroying(grams: Sequence[PositionalQGram], q: int) -> int:
     an edit at position ``x`` destroys the grams whose interval contains
     ``x``.  The minimum number of stabbing points is computed by the
     greedy right-endpoint sweep — exact in O(k log k), in contrast to
-    the NP-hard graph version (:mod:`repro.core.minedit`).
+    the NP-hard graph version (:mod:`repro.grams.minedit`).
     """
     if not grams:
         return 0

@@ -1,0 +1,1 @@
+"""Fixture tree: a fake ``repro`` package with known rule violations."""

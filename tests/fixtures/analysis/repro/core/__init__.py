@@ -1,0 +1,1 @@
+"""Fixture ``repro.core`` package."""

@@ -1,0 +1,17 @@
+__all__ = ["exported", "Wanted", "waived"]
+
+
+def exported():  # line 4: docstrings
+    return 1
+
+
+def unlisted():  # fine: not in __all__
+    return 2
+
+
+class Wanted:  # line 12: docstrings
+    pass
+
+
+def waived():  # repro: ignore[docstrings]  line 16: waived
+    return 3

@@ -1,0 +1,31 @@
+"""Fixture: exception discipline."""
+
+from repro.exceptions import ParameterError
+
+
+def divide(x):
+    """Bare except and a foreign raise."""
+    try:
+        return 1 / x
+    except:  # line 10: exceptions (bare except)
+        raise ValueError("bad")  # line 11: exceptions
+
+
+def validate(tau):
+    """Raising a library type is fine."""
+    if tau < 0:
+        raise ParameterError("negative tau")
+    raise NotImplementedError  # fine: programmer-error escape
+
+
+def reraise():
+    """Re-raising a handler-bound name is fine."""
+    try:
+        return divide(0)
+    except ZeroDivisionError as err:
+        raise err
+
+
+def waived():
+    """A justified foreign raise can be waived."""
+    raise RuntimeError("no")  # repro: ignore[exceptions]

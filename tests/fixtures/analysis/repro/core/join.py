@@ -1,0 +1,17 @@
+"""Fixture: hot-path allocations in a module named like the real join."""
+
+
+def run(graphs, q, counts):
+    """Copies and re-extraction inside loops."""
+    profiles = [extract_qgrams(g, q) for g in graphs]  # noqa: F821  fine
+    for g in graphs:
+        profile = extract_qgrams(g, q)  # noqa: F821  line 8: hot-path-alloc
+        items = list(profile.grams)  # line 9: hot-path-alloc
+        table = dict(counts)  # line 10: hot-path-alloc
+        fresh = []  # fine: literal
+        keep = list(profile.grams)  # repro: ignore[hot-path-alloc]  line 12
+        fresh.append((items, table, keep))
+    while counts:
+        snapshot = set(counts)  # line 15: hot-path-alloc
+        counts.pop(next(iter(snapshot)))
+    return profiles

@@ -1,0 +1,14 @@
+"""Fixture: process-global randomness."""
+
+import random
+from random import choice  # noqa: F401  line 4: determinism
+
+
+def draw(values):
+    """Various RNG sins."""
+    x = random.random()  # line 9: determinism
+    rng = random.Random()  # line 10: determinism (unseeded)
+    good = random.Random(42)  # fine: seeded
+    y = rng.choice(values)  # fine: instance method
+    z = random.shuffle(values)  # repro: ignore[determinism]  line 13: waived
+    return x, rng, good, y, z

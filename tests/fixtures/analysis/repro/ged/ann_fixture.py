@@ -1,0 +1,34 @@
+"""Fixture: annotation coverage of public functions."""
+
+
+def public_fn(a, b: int):  # line 4: annotations (a, return)
+    """Documented but unannotated."""
+    return a, b
+
+
+def _private(a):  # fine: private helper
+    return a
+
+
+class Thing:
+    """A public class."""
+
+    def __init__(self, x):  # line 16: annotations (x, return)
+        self.x = x
+
+    def method(self):  # line 19: annotations (return)
+        """Documented but unannotated."""
+        return self.x
+
+    def _hidden(self, y):  # fine: private method
+        return y
+
+
+def annotated(a: int) -> int:
+    """Fully annotated — clean."""
+    return a
+
+
+def waived(a):  # repro: ignore[annotations]
+    """Justified waiver."""
+    return a

@@ -1,0 +1,8 @@
+"""Fixture: ``ged`` importing upward — the historical core<->ged cycle."""
+
+from repro.core.label_filter import gamma  # noqa: F401  line 3: layering
+from repro import gsim_join  # noqa: F401  line 4: layering (facade)
+import repro.cli  # noqa: F401  line 5: layering
+import repro.newpkg  # noqa: F401  line 6: layering (unknown layer)
+from repro.grams.labels import local_label_lower_bound  # noqa: F401  fine
+from repro.core.verify import verify_pair  # noqa: F401  # repro: ignore[layering]

@@ -1,0 +1,23 @@
+"""Fixture: a filter that mutates its parameter graph."""
+
+
+def bad_filter(g, tau):
+    """Mutates its input — must be flagged."""
+    g.add_vertex(9, "X")  # line 6: filter-purity
+    g.graph_id = None  # line 7: filter-purity (attribute write)
+    g.add_edge(1, 9, "y")  # repro: ignore[filter-purity]  line 8: waived
+
+    def inner():
+        g.remove_vertex(9)  # line 11: filter-purity (enclosing parameter)
+
+    inner()
+    return 0
+
+
+def ok_filter(g, tau):
+    """Copies before editing — clean."""
+    scratch = g.copy()
+    scratch.add_vertex(9, "X")  # fine: not a parameter
+    counts = {}
+    counts[tau] = 1  # fine: subscript writes are accumulator idiom
+    return scratch.num_vertices

@@ -1,0 +1,195 @@
+"""Tests for the repro.analysis static-analysis framework.
+
+Each rule is exercised against a fixture tree
+(``tests/fixtures/analysis/``) holding known violations, asserting the
+rule fires exactly at the expected lines and that per-line
+``# repro: ignore[RULE]`` comments suppress it.  The suite finally
+asserts the real ``src/repro`` tree is clean — the CI gate's contract —
+and in particular that the historical ``core <-> ged`` import cycle
+stays dead.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main
+from repro.analysis.engine import Finding, module_name, run_analysis
+from repro.analysis.registry import all_rules
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.rules.layering import allowed_layers
+
+FIXTURES = Path(__file__).parent / "fixtures" / "analysis"
+SRC_REPRO = Path(__file__).parent.parent / "src" / "repro"
+
+EXPECTED_RULE_IDS = {
+    "annotations",
+    "determinism",
+    "docstrings",
+    "exceptions",
+    "filter-purity",
+    "float-equality",
+    "hot-path-alloc",
+    "layering",
+}
+
+
+def findings_for(rule_id, path):
+    """Run one rule over one fixture file; return (line, ...) tuples."""
+    rules = {rule_id: all_rules()[rule_id]}
+    return [(f.line, f.rule) for f in run_analysis([path], rules)]
+
+
+def lines_for(rule_id, path):
+    return [line for line, _ in findings_for(rule_id, path)]
+
+
+def test_all_rules_registered():
+    assert set(all_rules()) == EXPECTED_RULE_IDS
+
+
+def test_module_name_resolution():
+    assert module_name(FIXTURES / "repro" / "core" / "join.py") == "repro.core.join"
+    assert module_name(FIXTURES / "repro" / "__init__.py") == "repro"
+    assert module_name(FIXTURES / "broken.py") == "broken"
+
+
+# ---------------------------------------------------------------- layering
+
+
+def test_layering_flags_ged_importing_core_and_facade_and_unknown():
+    path = FIXTURES / "repro" / "ged" / "layering_bad.py"
+    assert lines_for("layering", path) == [3, 4, 5, 6]
+
+
+def test_layering_suppression():
+    path = FIXTURES / "repro" / "ged" / "layering_bad.py"
+    # line 8 imports repro.core.verify but carries # repro: ignore[layering]
+    assert 8 not in lines_for("layering", path)
+
+
+def test_layering_closure_matches_issue_dag():
+    assert "core" not in allowed_layers("ged")
+    assert "ged" in allowed_layers("core")
+    assert "grams" in allowed_layers("ged")
+    assert {"exceptions", "graph", "setcover"} <= allowed_layers("grams")
+    assert "core" in allowed_layers("cli")
+
+
+def test_real_tree_has_no_cycle():
+    """The core <-> ged cycle is gone and stays gone."""
+    rules = {"layering": all_rules()["layering"]}
+    assert run_analysis([SRC_REPRO], rules) == []
+
+
+# ------------------------------------------------------------ filter purity
+
+
+def test_filter_purity_flags_mutations():
+    path = FIXTURES / "repro" / "grams" / "purity_bad.py"
+    assert lines_for("filter-purity", path) == [6, 7, 11]
+
+
+# ------------------------------------------------------------- determinism
+
+
+def test_determinism_flags_global_rng():
+    path = FIXTURES / "repro" / "core" / "rand_fixture.py"
+    assert lines_for("determinism", path) == [4, 9, 10]
+
+
+# --------------------------------------------------------------- exceptions
+
+
+def test_exception_discipline():
+    path = FIXTURES / "repro" / "core" / "exc_fixture.py"
+    assert lines_for("exceptions", path) == [10, 11]
+
+
+# ----------------------------------------------------------- hot-path alloc
+
+
+def test_hot_path_allocations():
+    path = FIXTURES / "repro" / "core" / "join.py"
+    assert lines_for("hot-path-alloc", path) == [8, 9, 10, 15]
+
+
+# ----------------------------------------------------------- float equality
+
+
+def test_float_equality():
+    path = FIXTURES / "repro" / "core" / "float_fixture.py"
+    assert lines_for("float-equality", path) == [6, 7, 8]
+
+
+# -------------------------------------------------------------- annotations
+
+
+def test_annotation_coverage():
+    path = FIXTURES / "repro" / "ged" / "ann_fixture.py"
+    assert lines_for("annotations", path) == [4, 16, 19]
+
+
+# --------------------------------------------------------------- docstrings
+
+
+def test_docstrings():
+    path = FIXTURES / "repro" / "core" / "doc_fixture.py"
+    # line 1: missing module docstring; 4 and 12: undocumented exports.
+    assert lines_for("docstrings", path) == [1, 4, 12]
+
+
+# ------------------------------------------------------------ engine + CLI
+
+
+def test_syntax_error_finding_is_not_suppressible():
+    findings = run_analysis([FIXTURES / "broken.py"])
+    assert [f.rule for f in findings] == ["syntax-error"]
+
+
+def test_cli_exits_nonzero_on_fixtures(capsys):
+    assert main([str(FIXTURES)]) == 1
+    out = capsys.readouterr().out
+    assert "[layering]" in out and "finding(s)" in out
+
+
+def test_cli_exits_zero_on_clean_tree(capsys):
+    assert main([str(SRC_REPRO)]) == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_cli_rejects_nonexistent_path(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["/no/such/path"])
+    assert excinfo.value.code == 2
+    assert "no such file or directory" in capsys.readouterr().err
+
+
+def test_cli_select_and_unknown_rule(capsys):
+    path = FIXTURES / "repro" / "core" / "float_fixture.py"
+    assert main([str(path), "--select", "float-equality"]) == 1
+    capsys.readouterr()
+    with pytest.raises(SystemExit):
+        main([str(path), "--select", "no-such-rule"])
+
+
+def test_json_reporter_round_trips():
+    import json
+
+    findings = run_analysis([FIXTURES / "repro" / "core" / "float_fixture.py"])
+    payload = json.loads(render_json(findings))
+    assert payload and {"path", "line", "rule", "message"} <= set(payload[0])
+
+
+def test_text_reporter_counts():
+    findings = [
+        Finding(path="x.py", line=1, rule="layering", message="m"),
+        Finding(path="x.py", line=2, rule="layering", message="m"),
+    ]
+    text = render_text(findings)
+    assert "2 finding(s)" in text and "layering: 2" in text
+
+
+def test_whole_repo_is_clean():
+    """The acceptance gate: zero findings over src/repro."""
+    assert run_analysis([SRC_REPRO]) == []
