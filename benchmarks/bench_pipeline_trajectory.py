@@ -1,0 +1,166 @@
+"""Pipeline perf trajectory — interned fast path vs object-key reference.
+
+Runs a fixed workload matrix (AIDS-like q=4 and PROTEIN-like q=3, the
+Fig. 6(f)/7(i)(j) datasets; τ ∈ {1..3}; the *full* variant) through both
+pipelines — ``interned=True`` (integer signatures, merge filters, direct
+Algorithm 4) and ``interned=False`` (the retained object-key reference
+path) — and records per-phase timings and candidate counts to
+``BENCH_pipeline.json`` at the repository root.  The ``summary`` block
+reports the summed non-GED time (index + candidate generation + filter
+cascade, i.e. everything except ``ged_time``) for each pipeline and
+their ratio; the interned pipeline is expected to stay ≥ 2× ahead.
+
+Regenerate standalone (no pytest-benchmark needed)::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline_trajectory.py
+
+or as part of the benchmark suite (``pytest benchmarks/
+--benchmark-only``), which rewrites the same file.
+"""
+
+import json
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+if __name__ == "__main__":  # `import workloads` without the conftest
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from workloads import (
+    AIDS_N,
+    AIDS_Q,
+    PROT_N,
+    PROT_Q,
+    dataset,
+    format_table,
+    write_series,
+)
+
+from repro import GSimJoinOptions, gsim_join
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+
+TRAJECTORY_TAUS = (1, 2, 3)
+
+MATRIX = (
+    ("aids", AIDS_Q),
+    ("protein", PROT_Q),
+)
+
+
+def _run_cell(ds: str, q: int, tau: int, interned: bool) -> dict:
+    graphs = list(dataset(ds))
+    options = replace(GSimJoinOptions.full(q=q), interned=interned)
+    started = time.perf_counter()
+    result = gsim_join(graphs, tau, options)
+    wall = time.perf_counter() - started
+    st = result.stats
+    filter_time = st.verify_time - st.ged_time
+    return {
+        "dataset": ds,
+        "q": q,
+        "tau": tau,
+        "pipeline": "interned" if interned else "reference",
+        "index_time_s": round(st.index_time, 4),
+        "candidate_time_s": round(st.candidate_time, 4),
+        "filter_time_s": round(filter_time, 4),
+        "ged_time_s": round(st.ged_time, 4),
+        "non_ged_time_s": round(wall - st.ged_time, 4),
+        "wall_time_s": round(wall, 4),
+        "cand1": st.cand1,
+        "cand2": st.cand2,
+        "results": st.results,
+        "total_prefix_length": st.total_prefix_length,
+        "index_bytes": st.index_bytes,
+    }
+
+
+def collect() -> dict:
+    cells = []
+    for ds, q in MATRIX:
+        for tau in TRAJECTORY_TAUS:
+            for interned in (False, True):
+                cells.append(_run_cell(ds, q, tau, interned))
+    non_ged = {"reference": 0.0, "interned": 0.0}
+    for cell in cells:
+        non_ged[cell["pipeline"]] += cell["non_ged_time_s"]
+    speedup = (
+        non_ged["reference"] / non_ged["interned"]
+        if non_ged["interned"]
+        else float("inf")
+    )
+    return {
+        "generated_by": "benchmarks/bench_pipeline_trajectory.py",
+        "workloads": {
+            "aids": {"n": AIDS_N, "q": AIDS_Q, "seed": 42},
+            "protein": {"n": PROT_N, "q": PROT_Q, "seed": 7},
+        },
+        "taus": list(TRAJECTORY_TAUS),
+        "variant": "full",
+        "cells": cells,
+        "summary": {
+            "non_ged_reference_s": round(non_ged["reference"], 4),
+            "non_ged_interned_s": round(non_ged["interned"], 4),
+            "non_ged_speedup": round(speedup, 2),
+        },
+    }
+
+
+def _table(payload: dict) -> str:
+    rows = []
+    for cell in payload["cells"]:
+        rows.append(
+            [
+                cell["dataset"],
+                cell["tau"],
+                cell["pipeline"],
+                f"{cell['index_time_s']:.3f}",
+                f"{cell['candidate_time_s']:.3f}",
+                f"{cell['filter_time_s']:.3f}",
+                f"{cell['non_ged_time_s']:.3f}",
+                cell["cand1"],
+                cell["cand2"],
+            ]
+        )
+    summary = payload["summary"]
+    title = (
+        "Pipeline trajectory (full variant): non-GED "
+        f"{summary['non_ged_reference_s']:.2f}s -> "
+        f"{summary['non_ged_interned_s']:.2f}s "
+        f"({summary['non_ged_speedup']:.2f}x)"
+    )
+    return format_table(
+        title,
+        ["ds", "tau", "pipeline", "index", "candgen", "filter", "non-ged", "cand1", "cand2"],
+        rows,
+    )
+
+
+def write_trajectory() -> dict:
+    payload = collect()
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return payload
+
+
+def test_pipeline_trajectory(benchmark):
+    payload = benchmark.pedantic(write_trajectory, rounds=1, iterations=1)
+    table = _table(payload)
+    write_series("pipeline_trajectory", table, [])
+    print("\n" + table)
+    assert OUTPUT.exists()
+    assert len(payload["cells"]) == 2 * len(TRAJECTORY_TAUS) * len(MATRIX)
+    # Both pipelines are exact: identical candidates and results per cell.
+    by_key = {}
+    for cell in payload["cells"]:
+        key = (cell["dataset"], cell["tau"])
+        by_key.setdefault(key, []).append(cell)
+    for (ds, tau), pair in by_key.items():
+        ref, fast = pair
+        for field in ("cand1", "cand2", "results", "total_prefix_length"):
+            assert ref[field] == fast[field], (ds, tau, field)
+
+
+if __name__ == "__main__":
+    print(_table(write_trajectory()))
+    print(f"\nwrote {OUTPUT}")

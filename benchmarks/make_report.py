@@ -24,6 +24,7 @@ ORDER = (
     + [f"fig6{c}" for c in "abcdefghi"]
     + [f"fig7{c}" for c in "abcdefghijklmno"]
     + [
+        "pipeline_trajectory",
         "ablation_hash_keys",
         "ablation_minedit_solver",
         "ablation_heuristic_gate",
@@ -43,6 +44,13 @@ def build_report() -> str:
         "`benchmarks/results/`.  Regenerate the underlying series with "
         "`pytest benchmarks/ --benchmark-only`, then re-run "
         "`python benchmarks/make_report.py`.",
+        "",
+        "The machine-readable perf trajectory `BENCH_pipeline.json` (repo "
+        "root) tracks the interned fast path against the object-key "
+        "reference pipeline; regenerate it with `PYTHONPATH=src python "
+        "benchmarks/bench_pipeline_trajectory.py` (also rewritten by the "
+        "full benchmark run).  See `docs/PERFORMANCE.md` for the "
+        "methodology.",
         "",
     ]
     seen = set()

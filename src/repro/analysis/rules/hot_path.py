@@ -1,13 +1,15 @@
 """Hot-path allocation rule.
 
-``core.join``, ``core.search`` and ``ged.astar`` are the per-pair /
+``core.join``, ``core.search``, ``ged.astar`` and the interned filter
+kernels ``grams.vocab`` / ``grams.mismatch`` are the per-pair /
 per-state inner loops of the whole system; an accidental
 ``list(...)``/``dict(...)``/``set(...)`` copy or a repeated
 ``extract_qgrams`` call inside one of their ``for``/``while`` loops
-multiplies by the candidate (or A* state) count.  Copies and
-extractions belong before the loop; genuinely-needed per-iteration
-containers should be built with literals or comprehensions (which this
-rule deliberately does not flag).
+multiplies by the candidate (or A* state, or merged-id) count.  Copies
+and extractions belong before the loop; genuinely-needed per-iteration
+containers should be built with literals, slices or comprehensions
+(which this rule deliberately does not flag — the one-pass merge in
+``grams.mismatch`` relies on exactly those forms).
 
 A justified in-loop copy can be waived with
 ``# repro: ignore[hot-path-alloc]`` on the offending line.
@@ -25,7 +27,13 @@ from repro.analysis.registry import Rule, register
 __all__ = ["HotPathAllocationRule"]
 
 #: The modules whose loops are the system's hot paths.
-TARGET_MODULES = {"repro.core.join", "repro.core.search", "repro.ged.astar"}
+TARGET_MODULES = {
+    "repro.core.join",
+    "repro.core.search",
+    "repro.ged.astar",
+    "repro.grams.mismatch",
+    "repro.grams.vocab",
+}
 
 _COPY_BUILTINS = {"list", "dict", "set", "frozenset", "tuple"}
 
@@ -39,7 +47,7 @@ class HotPathAllocationRule(Rule):
     id = "hot-path-alloc"
     description = (
         "flag list()/dict() copies and extract_qgrams calls inside loops "
-        "in core.join/core.search/ged.astar"
+        "in core.join/core.search/ged.astar/grams.mismatch/grams.vocab"
     )
 
     def check(self, module: ModuleInfo) -> Iterator[Finding]:

@@ -19,6 +19,7 @@ from repro.grams.labels import (
 from repro.grams.minedit import min_edit_exact, min_edit_lower_bound, min_prefix_length
 from repro.grams.mismatch import MismatchResult, compare_qgrams, mismatching_grams
 from repro.core.ordering import QGramOrdering, build_ordering
+from repro.grams.vocab import QGramVocabulary, build_vocabulary
 from repro.core.parallel import gsim_join_parallel
 from repro.core.prefix import PrefixInfo, basic_prefix, minedit_prefix
 from repro.grams.qgrams import QGram, QGramProfile, extract_qgrams, qgram_key
@@ -45,6 +46,8 @@ __all__ = [
     "passes_size_filter",
     "QGramOrdering",
     "build_ordering",
+    "QGramVocabulary",
+    "build_vocabulary",
     "PrefixInfo",
     "basic_prefix",
     "minedit_prefix",

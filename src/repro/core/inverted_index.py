@@ -5,6 +5,11 @@ contains the key (Algorithm 1 builds it on the fly while scanning the
 collection, so at the time graph ``r`` probes, the index holds exactly
 the earlier graphs).
 
+Keys are any hashable value.  The interned pipeline indexes dense
+integer ids from :class:`repro.grams.vocab.QGramVocabulary` (cheaper to
+hash and compare than path-label tuples); the reference pipeline keeps
+indexing the object keys themselves — the index is agnostic.
+
 The index also reports its memory footprint the way the paper measures
 it: each q-gram is hashed to a 4-byte integer and each posting is a
 4-byte graph id, so ``size = 4·(#distinct keys) + 4·(#postings)`` bytes.
@@ -12,11 +17,13 @@ it: each q-gram is hashed to a 4-byte integer and each posting is a
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, List
-
-from repro.grams.qgrams import Key
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
 
 __all__ = ["InvertedIndex"]
+
+Key = Hashable
+
+_EMPTY: Tuple = ()
 
 
 class InvertedIndex:
@@ -38,9 +45,13 @@ class InvertedIndex:
         self._lists.setdefault(key, []).append(graph_id)
         self._num_postings += 1
 
-    def probe(self, key: Key) -> Iterator[Hashable]:
-        """Iterate over the posting list of ``key`` (possibly empty)."""
-        return iter(self._lists.get(key, ()))
+    def probe(self, key: Key) -> Sequence[Hashable]:
+        """The posting list of ``key`` (possibly empty).
+
+        Returns the list itself, not a copy — callers iterate, they must
+        not mutate.
+        """
+        return self._lists.get(key, _EMPTY)
 
     def add_all(self, keys: Iterable[Key], graph_id: Hashable) -> None:
         for key in keys:

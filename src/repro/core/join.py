@@ -26,13 +26,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.count_filter import passes_size_filter
 from repro.core.inverted_index import InvertedIndex
-from repro.core.ordering import build_ordering
+from repro.core.ordering import QGramOrdering, build_ordering
 from repro.core.prefix import PrefixInfo, basic_prefix, minedit_prefix
 from repro.grams.qgrams import QGramProfile, extract_qgrams
+from repro.grams.vocab import QGramVocabulary, build_vocabulary
 from repro.core.result import JoinResult, JoinStatistics
 from repro.core.verify import verify_pair
 from repro.exceptions import ParameterError
@@ -61,6 +62,14 @@ class GSimJoinOptions:
         Additionally apply the set-multicover minimum-edit bound over
         partially matched surplus keys — a sound extension beyond the
         paper (off in the paper-faithful variants).
+    interned:
+        Run the pipeline on interned integer q-gram signatures — the
+        global ordering becomes a pure integer sort, the inverted index
+        is keyed by small ints, and ``CompareQGrams`` is a linear merge
+        over sorted id arrays (see :mod:`repro.grams.vocab`).  Results
+        are bit-identical to the object-key reference path
+        (``interned=False``, retained for the parity property tests);
+        only speed differs.
     verifier:
         Exact GED engine for the surviving candidates: ``"astar"``
         (the paper's best-first search) or ``"dfs"`` (depth-first
@@ -74,31 +83,33 @@ class GSimJoinOptions:
     improved_order: bool = True
     improved_h: bool = True
     multicover: bool = False
+    interned: bool = True
     verifier: str = "astar"
 
     @classmethod
-    def basic(cls, q: int = 4) -> "GSimJoinOptions":
+    def basic(cls, q: int = 4, interned: bool = True) -> "GSimJoinOptions":
         """The paper's *Basic GSimJoin* configuration."""
         return cls(q=q, minedit_prefix=False, local_label=False,
-                   improved_order=False, improved_h=False)
+                   improved_order=False, improved_h=False, interned=interned)
 
     @classmethod
-    def minedit(cls, q: int = 4) -> "GSimJoinOptions":
+    def minedit(cls, q: int = 4, interned: bool = True) -> "GSimJoinOptions":
         """The paper's *+ MinEdit* configuration."""
         return cls(q=q, minedit_prefix=True, local_label=False,
-                   improved_order=True, improved_h=False)
+                   improved_order=True, improved_h=False, interned=interned)
 
     @classmethod
-    def full(cls, q: int = 4) -> "GSimJoinOptions":
+    def full(cls, q: int = 4, interned: bool = True) -> "GSimJoinOptions":
         """The paper's *+ Local Label* (complete GSimJoin) configuration."""
         return cls(q=q, minedit_prefix=True, local_label=True,
-                   improved_order=True, improved_h=True)
+                   improved_order=True, improved_h=True, interned=interned)
 
     @classmethod
-    def extended(cls, q: int = 4) -> "GSimJoinOptions":
+    def extended(cls, q: int = 4, interned: bool = True) -> "GSimJoinOptions":
         """``full()`` plus this library's multicover filter extension."""
         return cls(q=q, minedit_prefix=True, local_label=True,
-                   improved_order=True, improved_h=True, multicover=True)
+                   improved_order=True, improved_h=True, multicover=True,
+                   interned=interned)
 
     def with_q(self, q: int) -> "GSimJoinOptions":
         """This configuration with a different q-gram length."""
@@ -121,15 +132,28 @@ def _validate(graphs: Sequence[Graph], tau: int, options: GSimJoinOptions) -> No
         raise ParameterError("cannot mix directed and undirected graphs in a join")
 
 
+#: Either global-ordering implementation — both expose ``sort_profile``.
+Sorter = Union[QGramVocabulary, QGramOrdering]
+
+
+def _build_sorter(
+    profiles: Sequence[QGramProfile], options: GSimJoinOptions
+) -> Sorter:
+    """The configured global-ordering implementation over ``profiles``."""
+    if options.interned:
+        return build_vocabulary(profiles)
+    return build_ordering(profiles)
+
+
 def _prepare_profiles(
     graphs: Sequence[Graph], tau: int, options: GSimJoinOptions, stats: JoinStatistics
-) -> Tuple[List[QGramProfile], List[PrefixInfo], List[Tuple]]:
+) -> Tuple[List[QGramProfile], List[PrefixInfo], List[Tuple], Sorter]:
     """Extract q-grams, build the global ordering, sort, compute prefixes."""
     profiles = [extract_qgrams(g, options.q) for g in graphs]
-    ordering = build_ordering(profiles)
+    sorter = _build_sorter(profiles, options)
     prefixes: List[PrefixInfo] = []
     for profile in profiles:
-        ordering.sort_profile(profile)
+        sorter.sort_profile(profile)
         info = (
             minedit_prefix(profile, tau)
             if options.minedit_prefix
@@ -142,7 +166,7 @@ def _prepare_profiles(
     labels = [
         (g.vertex_label_multiset(), g.edge_label_multiset()) for g in graphs
     ]
-    return profiles, prefixes, labels
+    return profiles, prefixes, labels, sorter
 
 
 def gsim_join(
@@ -170,7 +194,9 @@ def gsim_join(
     result = JoinResult(stats=stats)
 
     started = time.perf_counter()
-    profiles, prefixes, labels = _prepare_profiles(graphs, tau, options, stats)
+    profiles, prefixes, labels, _sorter = _prepare_profiles(
+        graphs, tau, options, stats
+    )
     stats.index_time += time.perf_counter() - started
 
     index = InvertedIndex()
@@ -184,8 +210,8 @@ def gsim_join(
         started = time.perf_counter()
         candidate_ids: Dict[int, bool] = {}
         if info.prunable:
-            for gram in profile.grams[: info.length]:
-                for j in index.probe(gram.key):
+            for key in profile.prefix_keys(info.length):
+                for j in index.probe(key):
                     if j not in candidate_ids and passes_size_filter(
                         r, profiles[j].graph, tau
                     ):
@@ -225,8 +251,8 @@ def gsim_join(
         # --- Index maintenance --------------------------------------
         started = time.perf_counter()
         if info.prunable:
-            for gram in profile.grams[: info.length]:
-                index.add(gram.key, i)
+            for key in profile.prefix_keys(info.length):
+                index.add(key, i)
         else:
             unprunable.append(i)
         stats.index_time += time.perf_counter() - started
@@ -264,10 +290,10 @@ def gsim_join_rs(
     started = time.perf_counter()
     all_graphs = list(outer) + list(inner)
     profiles_all = [extract_qgrams(g, options.q) for g in all_graphs]
-    ordering = build_ordering(profiles_all)
+    sorter = _build_sorter(profiles_all, options)
     prefixes_all: List[PrefixInfo] = []
     for profile in profiles_all:
-        ordering.sort_profile(profile)
+        sorter.sort_profile(profile)
         info = (
             minedit_prefix(profile, tau)
             if options.minedit_prefix
@@ -289,8 +315,8 @@ def gsim_join_rs(
     for j, profile in enumerate(inner_profiles):
         info = prefixes_all[n_outer + j]
         if info.prunable:
-            for gram in profile.grams[: info.length]:
-                index.add(gram.key, j)
+            for key in profile.prefix_keys(info.length):
+                index.add(key, j)
         else:
             inner_unprunable.append(j)
     stats.index_time += time.perf_counter() - started
@@ -302,8 +328,8 @@ def gsim_join_rs(
         started = time.perf_counter()
         candidate_ids: Dict[int, bool] = {}
         if info.prunable:
-            for gram in profile.grams[: info.length]:
-                for j in index.probe(gram.key):
+            for key in profile.prefix_keys(info.length):
+                for j in index.probe(key):
                     if j not in candidate_ids and passes_size_filter(
                         r, inner_profiles[j].graph, tau
                     ):

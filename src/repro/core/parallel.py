@@ -11,9 +11,15 @@ is embarrassingly parallel across candidate pairs.
 
 Each worker lazily builds its own q-gram profile cache, so graphs are
 profiled at most once per worker regardless of how many candidate pairs
-they participate in.  Results are identical to :func:`repro.core.join.
-gsim_join` (asserted by the test suite); statistics are aggregated
-across workers, except wall-clock phase timings, which reflect the
+they participate in.  The parent ships the frozen global ordering (the
+interning vocabulary, or the object-key ordering on the reference path)
+to every worker via the pool initializer, and workers sort each profile
+in it — mismatch-instance selection and the improved A* vertex order
+therefore match the sequential join exactly (historically they did not:
+workers re-extracted profiles but never applied the global ordering, so
+``ged_expansions`` diverged from :func:`repro.core.join.gsim_join`).
+Results and per-pair statistics are identical to the sequential join
+(asserted by the test suite); wall-clock phase timings reflect the
 parent's view (``verify_time`` is the elapsed pool time).
 """
 
@@ -25,7 +31,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.count_filter import passes_size_filter
 from repro.core.inverted_index import InvertedIndex
-from repro.core.join import GSimJoinOptions, _prepare_profiles, _validate
+from repro.core.join import GSimJoinOptions, Sorter, _prepare_profiles, _validate
 from repro.grams.qgrams import extract_qgrams
 from repro.core.result import JoinResult, JoinStatistics
 from repro.core.verify import verify_pair
@@ -38,10 +44,16 @@ __all__ = ["gsim_join_parallel"]
 _worker: dict = {}
 
 
-def _init_worker(graphs: Sequence[Graph], tau: int, options: GSimJoinOptions) -> None:
+def _init_worker(
+    graphs: Sequence[Graph],
+    tau: int,
+    options: GSimJoinOptions,
+    sorter: Sorter,
+) -> None:
     _worker["graphs"] = list(graphs)
     _worker["tau"] = tau
     _worker["options"] = options
+    _worker["sorter"] = sorter
     _worker["profiles"] = {}
     _worker["labels"] = {}
 
@@ -51,6 +63,7 @@ def _profile_of(i: int):
     if cached is None:
         g = _worker["graphs"][i]
         cached = extract_qgrams(g, _worker["options"].q)
+        _worker["sorter"].sort_profile(cached)
         _worker["profiles"][i] = cached
         _worker["labels"][i] = (
             g.vertex_label_multiset(), g.edge_label_multiset()
@@ -127,7 +140,7 @@ def gsim_join_parallel(
 
     # --- Phase 1: sequential scan, collecting candidate pairs ---------
     started = time.perf_counter()
-    profiles, prefixes, _labels = _prepare_profiles(graphs, tau, options, stats)
+    profiles, prefixes, _labels, sorter = _prepare_profiles(graphs, tau, options, stats)
     stats.index_time += time.perf_counter() - started
 
     started = time.perf_counter()
@@ -139,8 +152,8 @@ def gsim_join_parallel(
         r = profile.graph
         candidate_ids: Dict[int, bool] = {}
         if info.prunable:
-            for gram in profile.grams[: info.length]:
-                for j in index.probe(gram.key):
+            for key in profile.prefix_keys(info.length):
+                for j in index.probe(key):
                     if j not in candidate_ids and passes_size_filter(
                         r, profiles[j].graph, tau
                     ):
@@ -156,8 +169,8 @@ def gsim_join_parallel(
                     candidate_ids[j] = True
         pairs.extend((i, j) for j in candidate_ids)
         if info.prunable:
-            for gram in profile.grams[: info.length]:
-                index.add(gram.key, i)
+            for key in profile.prefix_keys(info.length):
+                index.add(key, i)
         else:
             unprunable.append(i)
     stats.cand1 = len(pairs)
@@ -171,7 +184,7 @@ def gsim_join_parallel(
     chunks = [pairs[k : k + chunk_size] for k in range(0, len(pairs), chunk_size)]
     accepted: List[Tuple[int, int]] = []
     if workers == 1 or not chunks:
-        _init_worker(graphs, tau, options)
+        _init_worker(graphs, tau, options, sorter)
         for chunk in chunks:
             got, part = _verify_chunk(chunk)
             accepted.extend(got)
@@ -181,7 +194,7 @@ def gsim_join_parallel(
         with Pool(
             processes=workers,
             initializer=_init_worker,
-            initargs=(list(graphs), tau, options),
+            initargs=(list(graphs), tau, options, sorter),
         ) as pool:
             for got, part in pool.imap(_verify_chunk, chunks):
                 accepted.extend(got)

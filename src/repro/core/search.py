@@ -22,8 +22,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.core.count_filter import passes_size_filter
 from repro.core.inverted_index import InvertedIndex
-from repro.core.join import GSimJoinOptions
-from repro.core.ordering import QGramOrdering, build_ordering
+from repro.core.join import GSimJoinOptions, Sorter, _build_sorter
 from repro.core.prefix import PrefixInfo, basic_prefix, minedit_prefix
 from repro.grams.qgrams import QGramProfile, extract_qgrams
 from repro.core.result import JoinStatistics
@@ -71,30 +70,26 @@ class GSimIndex:
         self._unprunable: List[int] = []
 
         initial = list(graphs)
-        # Freeze the ordering on the initial collection (or empty).
-        self._ordering: QGramOrdering = build_ordering(
-            extract_qgrams(g, self.options.q) for g in initial
-        )
-        for g in initial:
-            self.add(g)
+        initial_profiles = [extract_qgrams(g, self.options.q) for g in initial]
+        # Freeze the ordering on the initial collection (or empty):
+        # either an interning vocabulary (ids in global-ordering rank,
+        # the default) or the repr-tokenized object-key ordering.
+        self._sorter: Sorter = _build_sorter(initial_profiles, self.options)
+        for g, profile in zip(initial, initial_profiles):
+            self._validate_new(g)
+            self._insert(g, profile)
 
     def __len__(self) -> int:
         return len(self.graphs)
 
-    def add(self, g: Graph) -> None:
-        """Insert a graph into the index.
-
-        Raises
-        ------
-        ParameterError
-            If the graph has no id or a duplicate id.
-        """
+    def _validate_new(self, g: Graph) -> None:
         if g.graph_id is None:
             raise ParameterError("indexed graphs need an id")
         if g.graph_id in self._ids:
             raise ParameterError(f"duplicate graph id {g.graph_id!r}")
-        profile = extract_qgrams(g, self.options.q)
-        self._ordering.sort_profile(profile)
+
+    def _insert(self, g: Graph, profile: QGramProfile) -> None:
+        self._sorter.sort_profile(profile)
         info = self._prefix(profile, self.tau_max)
         position = len(self.graphs)
         self.graphs.append(g)
@@ -102,10 +97,26 @@ class GSimIndex:
         self._labels.append((g.vertex_label_multiset(), g.edge_label_multiset()))
         self._ids.add(g.graph_id)
         if info.prunable:
-            for gram in profile.grams[: info.length]:
-                self._index.add(gram.key, position)
+            for key in profile.prefix_keys(info.length):
+                self._index.add(key, position)
         else:
             self._unprunable.append(position)
+
+    def add(self, g: Graph) -> None:
+        """Insert a graph into the index.
+
+        Q-gram keys unseen at construction get overflow ids past the
+        vocabulary's frozen range — they sort after every frozen key
+        (among themselves by ``repr``), preserving the "unknown sorts
+        last" contract of the frozen global ordering.
+
+        Raises
+        ------
+        ParameterError
+            If the graph has no id or a duplicate id.
+        """
+        self._validate_new(g)
+        self._insert(g, extract_qgrams(g, self.options.q))
 
     def _prefix(self, profile: QGramProfile, tau: int) -> PrefixInfo:
         if self.options.minedit_prefix:
@@ -136,13 +147,13 @@ class GSimIndex:
                 f"tau={tau} exceeds the index's tau_max={self.tau_max}"
             )
         profile = extract_qgrams(g, self.options.q)
-        self._ordering.sort_profile(profile)
+        self._sorter.sort_profile(profile)
         info = self._prefix(profile, tau)
 
         candidates: Dict[int, bool] = {}
         if info.prunable:
-            for gram in profile.grams[: info.length]:
-                for j in self._index.probe(gram.key):
+            for key in profile.prefix_keys(info.length):
+                for j in self._index.probe(key):
                     if j not in candidates and passes_size_filter(
                         g, self.graphs[j], tau
                     ):

@@ -80,9 +80,10 @@ def verify_pair(
         return VerifyOutcome(False, "global_label")
 
     # Count filtering, via mismatching q-gram counts (Lemma 1 restated:
-    # |Q_r \ Q_s| <= tau * D_path(r), symmetrically for s).
-    mismatch = compare_qgrams(p_r, p_s)
-    if mismatch.epsilon_r > tau * p_r.d_path or mismatch.epsilon_s > tau * p_s.d_path:
+    # |Q_r \ Q_s| <= tau * D_path(r), symmetrically for s).  Passing tau
+    # lets the interned merge bail out as soon as a bound is exceeded.
+    mismatch = compare_qgrams(p_r, p_s, tau)
+    if mismatch.count_pruned:
         if stats:
             stats.pruned_by_count += 1
         return VerifyOutcome(False, "count")
@@ -91,7 +92,7 @@ def verify_pair(
     if use_local_label:
         eps4 = local_label_lower_bound(
             mismatch.mismatch_r, r, s, tau,
-            other_labels=labels_s, required_keys=mismatch.absent_keys_r,
+            other_labels=labels_s, required_mask=mismatch.required_mask_r,
         )
         if eps4 > tau:
             if stats:
@@ -99,7 +100,7 @@ def verify_pair(
             return VerifyOutcome(False, "local_label")
         eps5 = local_label_lower_bound(
             mismatch.mismatch_s, s, r, tau,
-            other_labels=labels_r, required_keys=mismatch.absent_keys_s,
+            other_labels=labels_r, required_mask=mismatch.required_mask_s,
         )
         if eps5 > tau:
             if stats:

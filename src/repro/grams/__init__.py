@@ -32,12 +32,15 @@ from repro.grams.minedit import (
 )
 from repro.grams.mismatch import MismatchResult, compare_qgrams, mismatching_grams
 from repro.grams.qgrams import Key, QGram, QGramProfile, extract_qgrams, qgram_key
+from repro.grams.vocab import QGramVocabulary, build_vocabulary
 
 __all__ = [
     "Key",
     "MismatchResult",
     "QGram",
     "QGramProfile",
+    "QGramVocabulary",
+    "build_vocabulary",
     "compare_qgrams",
     "connected_gram_components",
     "extract_qgrams",

@@ -61,11 +61,13 @@ def global_label_lower_bound(
     return gamma(rv, sv) + gamma(re, se)
 
 
-def connected_gram_components(grams: Sequence[QGram]) -> List[List[QGram]]:
-    """Group q-gram instances into vertex-connected components.
+def _component_index_groups(grams: Sequence[QGram]) -> List[List[int]]:
+    """Indices of ``grams`` grouped into vertex-connected components.
 
     Two instances are connected when they share a vertex; components are
-    the transitive closure.  Union–find over the instances' vertices.
+    the transitive closure.  Union–find over the instances' path
+    vertices (a simple path never repeats a vertex, so the path tuple is
+    already duplicate-free).
     """
     parent: Dict[Vertex, Vertex] = {}
 
@@ -83,17 +85,28 @@ def connected_gram_components(grams: Sequence[QGram]) -> List[List[QGram]]:
             parent[rx] = ry
 
     for gram in grams:
-        vertices = list(gram.vertex_set)
+        vertices = gram.path
         for v in vertices:
             parent.setdefault(v, v)
         for v in vertices[1:]:
             union(vertices[0], v)
 
-    groups: Dict[Vertex, List[QGram]] = {}
-    for gram in grams:
-        root = find(next(iter(gram.vertex_set)))
-        groups.setdefault(root, []).append(gram)
+    groups: Dict[Vertex, List[int]] = {}
+    for index, gram in enumerate(grams):
+        root = find(gram.path[0])
+        groups.setdefault(root, []).append(index)
     return list(groups.values())
+
+
+def connected_gram_components(grams: Sequence[QGram]) -> List[List[QGram]]:
+    """Group q-gram instances into vertex-connected components.
+
+    Two instances are connected when they share a vertex; components are
+    the transitive closure.  Union–find over the instances' vertices.
+    """
+    return [
+        [grams[i] for i in group] for group in _component_index_groups(grams)
+    ]
 
 
 def _component_label_multisets(
@@ -127,6 +140,7 @@ def local_label_lower_bound(
     other_labels: Optional[Tuple[Counter, Counter]] = None,
     exact: bool = True,
     required_keys: Optional[frozenset] = None,
+    required_mask: Optional[Sequence[bool]] = None,
 ) -> int:
     """Algorithm 5: a GED lower bound from mismatching q-grams.
 
@@ -158,6 +172,12 @@ def local_label_lower_bound(
         positions — the paper's Section III footnote 2 caveat).  With
         ``None`` every instance is treated as required, which is only
         sound when the caller knows the whole multiset must be affected.
+    required_mask:
+        Per-instance flags aligned with ``mismatch_grams`` — the
+        interned pipeline's form of the same information
+        (:attr:`~repro.grams.mismatch.MismatchResult.required_mask_r`),
+        avoiding key hashing entirely.  Takes precedence over
+        ``required_keys`` when given.
 
     Notes
     -----
@@ -172,8 +192,11 @@ def local_label_lower_bound(
     ov, oe = other_labels if other_labels is not None else (
         other.vertex_label_multiset(), other.edge_label_multiset())
     total = 0
-    for component in connected_gram_components(mismatch_grams):
-        if required_keys is None:
+    for indices in _component_index_groups(mismatch_grams):
+        component = [mismatch_grams[i] for i in indices]
+        if required_mask is not None:
+            required = [mismatch_grams[i] for i in indices if required_mask[i]]
+        elif required_keys is None:
             required = component
         else:
             required = [g for g in component if g.key in required_keys]

@@ -12,20 +12,30 @@ by the Slavík ratio gives a fast certified lower bound (Algorithm 2).
 ``min_prefix_length`` (Algorithm 4) shrinks the basic prefix
 ``τ·D_path + 1`` to the shortest prefix whose q-grams already require
 ``τ + 1`` edit operations — Lemma 3 then allows probing only that prefix.
+
+Two implementations of Algorithm 4 coexist.  ``min_prefix_length`` is
+the paper's double binary search (greedy bracket, then exact), kept
+verbatim as the reference-path oracle.  ``min_prefix_length_direct``
+computes the same prefix with a single bounded branch-and-bound over
+hitting vertices — the interned fast path uses it (see
+``docs/PERFORMANCE.md``); both return bit-identical results, asserted
+property-style in ``tests/test_vocab.py``.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.grams.qgrams import QGram
 from repro.exceptions import ParameterError
+from repro.graph.graph import Vertex
 from repro.setcover import exact_min_hitting_set, greedy_lower_bound
 
 __all__ = [
     "min_edit_exact",
     "min_edit_lower_bound",
     "min_prefix_length",
+    "min_prefix_length_direct",
 ]
 
 
@@ -121,3 +131,70 @@ def min_prefix_length(
         else:
             left = mid + 1
     return left
+
+
+def _longest_hit_prefix(
+    paths: Sequence[Tuple[Vertex, ...]], tau: int, cap: int
+) -> int:
+    """Longest prefix of ``paths`` hittable by ``<= tau`` vertices.
+
+    Branch and bound: scan forward past grams already hit by the chosen
+    vertices; at the first unhit gram, any hitting set must contain one
+    of its vertices, so branch on them (depth ``tau``, branching at most
+    ``q + 1``).  Saturates at ``cap`` — once a prefix of length ``cap``
+    is hittable the exact maximum no longer matters to the caller.
+    """
+    best = 0
+    chosen: Set[Vertex] = set()
+    disjoint = chosen.isdisjoint
+
+    def walk(start: int, budget: int) -> bool:
+        nonlocal best
+        i = start
+        while i < cap and not disjoint(paths[i]):
+            i += 1
+        if i > best:
+            best = i
+        if i >= cap:
+            return True  # saturated: the whole admissible prefix is hittable
+        if budget == 0:
+            return False
+        for v in paths[i]:
+            chosen.add(v)
+            saturated = walk(i + 1, budget - 1)
+            chosen.discard(v)
+            if saturated:
+                return True
+        return False
+
+    walk(0, tau)
+    return best
+
+
+def min_prefix_length_direct(
+    sorted_grams: Sequence[QGram],
+    tau: int,
+    d_path: int,
+) -> Optional[int]:
+    """Algorithm 4 as a single bounded search (the interned fast path).
+
+    Same contract and bit-identical results as
+    :func:`min_prefix_length`, computed without binary searching: the
+    answer ``p`` is one more than the longest prefix hittable by ``τ``
+    vertices (min-edit is exactly a minimum hitting set over the grams'
+    vertex sets, and a simple path never repeats a vertex, so the path
+    tuples serve as the sets directly).  One branch-and-bound sweep
+    replaces ``O(log p)`` greedy *and* exact hitting-set solves, each of
+    which rebuilt its instance from scratch.
+    """
+    if tau < 0:
+        raise ParameterError(f"tau must be >= 0, got {tau}")
+    total = len(sorted_grams)
+    hard_right = min(tau * d_path + 1, total)
+    if hard_right == 0:
+        return None
+    paths = [gram.path for gram in sorted_grams[:hard_right]]
+    hittable = _longest_hit_prefix(paths, tau, hard_right)
+    if hittable >= hard_right:
+        return None  # underflow: prefix filtering cannot prune this graph
+    return hittable + 1

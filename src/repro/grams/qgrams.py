@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.exceptions import ParameterError
 from repro.graph.graph import Graph, Vertex
@@ -98,6 +98,22 @@ class QGramProfile:
     d_path:
         ``D_path = max_u |Q_u|`` — the maximum number of q-grams a single
         edit operation can affect (Theorem 1); 0 for a gram-less graph.
+    signature:
+        Interned integer ids of the (sorted) grams, aligned index by
+        index — attached by :meth:`repro.grams.vocab.QGramVocabulary.
+        sort_profile`; ``None`` until then (the object-key reference
+        path never attaches one).
+    signature_total:
+        ``True`` when the signature contains only frozen-range ids, so
+        ascending id *is* the global ordering and two such signatures
+        from the same vocabulary can be compared by a pure integer
+        merge.  ``False`` when overflow ids are present (streaming
+        inserts/queries) — pairwise comparison then falls back to the
+        object-key path.
+    signature_source:
+        The vocabulary that interned the signature (identity-compared by
+        :func:`repro.grams.mismatch.compare_qgrams` so signatures from
+        different vocabularies are never merged).
     """
 
     graph: Graph
@@ -106,6 +122,9 @@ class QGramProfile:
     key_counts: Counter = field(repr=False)
     vertex_counts: Dict[Vertex, int] = field(repr=False)
     d_path: int
+    signature: Optional[List[int]] = field(default=None, repr=False)
+    signature_total: bool = field(default=False, repr=False)
+    signature_source: Optional[object] = field(default=None, repr=False)
 
     @property
     def size(self) -> int:
@@ -115,6 +134,44 @@ class QGramProfile:
     def count_lower_bound(self, tau: int) -> int:
         """This graph's side of the count filtering bound: |Q_r| − τ·D_path."""
         return self.size - tau * self.d_path
+
+    def attach_signature(
+        self,
+        ids: List[int],
+        source: Optional[object] = None,
+        sort_token: Optional[Callable[[int], Tuple[int, int, str]]] = None,
+    ) -> None:
+        """Sort ``grams`` by interned id and record the aligned signature.
+
+        ``ids[k]`` must be the interned id of ``grams[k].key``.  Without
+        ``sort_token`` ascending id is taken to be the global ordering
+        (a pure integer sort — the fast path); with it, each id is
+        ranked by its token instead (used for overflow ids, which rank
+        by key ``repr``) and the signature is marked non-mergeable.
+        Equal ids keep their enumeration order: the sort is stable,
+        matching the historical object-key sort exactly.
+        """
+        if sort_token is None:
+            order = sorted(range(len(ids)), key=ids.__getitem__)
+            self.signature_total = True
+        else:
+            order = sorted(range(len(ids)), key=lambda k: sort_token(ids[k]))
+            self.signature_total = False
+        self.grams = [self.grams[k] for k in order]
+        self.signature = [ids[k] for k in order]
+        self.signature_source = source
+
+    def prefix_keys(self, length: int) -> Sequence[object]:
+        """The first ``length`` index/probe keys in the global ordering.
+
+        Interned ids when a signature is attached (the fast pipeline),
+        otherwise the grams' object keys — both are valid inverted-index
+        keys, so join/search code is agnostic to the representation.
+        """
+        signature = self.signature
+        if signature is not None:
+            return signature[:length]
+        return [gram.key for gram in self.grams[:length]]
 
 
 def _walk_grams(g: Graph, q: int, vertex_counts: Dict[Vertex, int]) -> List[QGram]:
@@ -127,40 +184,60 @@ def _walk_grams(g: Graph, q: int, vertex_counts: Dict[Vertex, int]) -> List[QGra
     the improved heuristic).
     """
     grams: List[QGram] = []
+    append_gram = grams.append
     directed = g.is_directed
     position = {v: i for i, v in enumerate(g.vertices())}
-    adjacency = {v: list(g.neighbor_items(v)) for v in g.vertices()}
+    # Per-vertex (label, repr) and per-neighbor (u, position, label, repr)
+    # are resolved once up front, so the walk never calls repr() or
+    # touches the graph's label maps.
     vlabel = {v: g.vertex_label(v) for v in g.vertices()}
+    vrepr = {v: repr(label) for v, label in vlabel.items()}
+    adjacency = {
+        v: [
+            (u, position[u], label, repr(label))
+            for u, label in g.neighbor_items(v)
+        ]
+        for v in g.vertices()
+    }
 
     path: List[Vertex] = []
     labels: List[object] = []
     reprs: List[str] = []
     on_path = set()
+    last_depth = q + 1
 
-    def extend(v: Vertex) -> None:
+    def extend(v: Vertex, depth: int) -> None:
         path.append(v)
         on_path.add(v)
-        label = vlabel[v]
-        labels.append(label)
-        reprs.append(repr(label))
-        if len(path) == q + 1:
-            if directed or position[path[0]] < position[path[-1]]:
-                forward = tuple(labels)
-                if directed:
-                    key = forward
-                else:
-                    backward_r = reprs[::-1]
-                    key = tuple(reversed(labels)) if backward_r < reprs else forward
-                gram = QGram(key, tuple(path))
-                grams.append(gram)
-                for u in path:
-                    vertex_counts[u] += 1
+        labels.append(vlabel[v])
+        reprs.append(vrepr[v])
+        if depth == last_depth:
+            forward = tuple(labels)
+            if directed:
+                key = forward
+            else:
+                backward_r = reprs[::-1]
+                key = tuple(reversed(labels)) if backward_r < reprs else forward
+            append_gram(QGram(key, tuple(path)))
+            for u in path:
+                vertex_counts[u] += 1
+        elif depth == q:
+            # Final step: apply the undirected orientation filter before
+            # descending, so discarded-orientation leaves are never built.
+            start_position = position[path[0]]
+            for u, u_position, edge_label, edge_repr in adjacency[v]:
+                if u not in on_path and (directed or start_position < u_position):
+                    labels.append(edge_label)
+                    reprs.append(edge_repr)
+                    extend(u, last_depth)
+                    labels.pop()
+                    reprs.pop()
         else:
-            for u, edge_label in adjacency[v]:
+            for u, _, edge_label, edge_repr in adjacency[v]:
                 if u not in on_path:
                     labels.append(edge_label)
-                    reprs.append(repr(edge_label))
-                    extend(u)
+                    reprs.append(edge_repr)
+                    extend(u, depth + 1)
                     labels.pop()
                     reprs.pop()
         on_path.discard(v)
@@ -169,7 +246,7 @@ def _walk_grams(g: Graph, q: int, vertex_counts: Dict[Vertex, int]) -> List[QGra
         reprs.pop()
 
     for start in g.vertices():
-        extend(start)
+        extend(start, 1)
     return grams
 
 

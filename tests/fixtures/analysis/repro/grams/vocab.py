@@ -1,0 +1,14 @@
+"""Fixture: hot-path allocations inside grams.vocab merge loops."""
+
+
+def merge(ids_r, ids_s, grams):
+    out = []
+    for i in ids_r:
+        snapshot = list(grams)
+        lookup = dict(grams)
+        out.append(set(ids_s))
+    while ids_s:
+        profile = extract_qgrams(grams, 3)
+        cached = list(grams)  # repro: ignore[hot-path-alloc]
+        ids_s = ids_s[:-1]
+    return out

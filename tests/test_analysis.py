@@ -114,6 +114,14 @@ def test_hot_path_allocations():
     assert lines_for("hot-path-alloc", path) == [8, 9, 10, 15]
 
 
+def test_hot_path_covers_interned_kernels():
+    """The rule extends to the interned filter kernels (grams.vocab)."""
+    path = FIXTURES / "repro" / "grams" / "vocab.py"
+    # 7-9: copies in the for loop; 11: extract_qgrams in the while loop;
+    # 12 carries # repro: ignore[hot-path-alloc] and is suppressed.
+    assert lines_for("hot-path-alloc", path) == [7, 8, 9, 11]
+
+
 # ----------------------------------------------------------- float equality
 
 

@@ -54,3 +54,35 @@ class TestParallelJoin:
         st = result.stats
         assert st.cand1 >= st.cand2 >= st.results
         assert st.ged_calls == st.cand2
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    @pytest.mark.parametrize("interned", [True, False])
+    def test_worker_ordering_parity(self, workers, interned):
+        """Workers must apply the frozen global ordering.
+
+        Historically ``_profile_of`` re-extracted profiles without
+        sorting them, so mismatch-instance selection and the improved A*
+        vertex order silently diverged from the sequential join —
+        ``ged_expansions`` is the sensitive detector (pairs can agree
+        while the search does different work).
+        """
+        graphs = molecule_collection(24, seed=74)
+        options = GSimJoinOptions.full(q=3, interned=interned)
+        sequential = gsim_join(graphs, tau=2, options=options)
+        parallel = gsim_join_parallel(
+            graphs, tau=2, options=options, workers=workers, chunk_size=3
+        )
+        assert parallel.pairs == sequential.pairs
+        for field in (
+            "cand1",
+            "cand2",
+            "results",
+            "pruned_by_global_label",
+            "pruned_by_count",
+            "pruned_by_local_label",
+            "ged_calls",
+            "ged_expansions",
+        ):
+            assert getattr(parallel.stats, field) == getattr(
+                sequential.stats, field
+            ), field
