@@ -24,6 +24,9 @@ Package map:
   improved vertex order and heuristic;
 * :mod:`repro.matching`, :mod:`repro.setcover` — assignment-problem and
   hitting-set substrates;
+* :mod:`repro.runtime` — robustness substrate: verification budgets
+  (bounded GED verdicts), the checkpoint/resume journal, and
+  deterministic fault injection (``docs/ROBUSTNESS.md``);
 * :mod:`repro.baselines` — κ-AT, AppFull and the naive oracle join;
 * :mod:`repro.datasets` — seeded AIDS-like / PROTEIN-like workloads and
   the paper's running-example molecules.
@@ -31,6 +34,7 @@ Package map:
 
 from repro.baselines import appfull_join, kat_join, naive_join
 from repro.core import (
+    BoundedPair,
     GSimIndex,
     GSimJoinOptions,
     JoinResult,
@@ -41,11 +45,14 @@ from repro.core import (
     gsim_join_rs,
 )
 from repro.exceptions import (
+    CheckpointError,
     GraphError,
     GraphFormatError,
     ParameterError,
     ReproError,
+    SearchExhaustedError,
 )
+from repro.runtime import FaultPlan, VerificationBudget
 from repro.ged import brute_force_ged, ged_within, graph_edit_distance
 from repro.graph import (
     Graph,
@@ -72,6 +79,9 @@ __all__ = [
     "GSimJoinOptions",
     "JoinResult",
     "JoinStatistics",
+    "BoundedPair",
+    "VerificationBudget",
+    "FaultPlan",
     "extract_qgrams",
     "graph_edit_distance",
     "ged_within",
@@ -83,5 +93,7 @@ __all__ = [
     "GraphError",
     "GraphFormatError",
     "ParameterError",
+    "SearchExhaustedError",
+    "CheckpointError",
     "__version__",
 ]

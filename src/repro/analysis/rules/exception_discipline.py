@@ -2,11 +2,14 @@
 
 Library code raises only :mod:`repro.exceptions` types (so callers can
 catch ``ReproError`` and let programming errors propagate — the
-package's documented contract), plus the two conventional
-programmer-error escapes ``NotImplementedError`` (abstract methods) and
-``AssertionError`` (states proven unreachable).  Bare ``except:``
-clauses are banned outright: they swallow ``KeyboardInterrupt`` and
-``SystemExit`` and hide genuine bugs.
+package's documented contract), plus the single conventional
+programmer-error escape ``NotImplementedError`` (abstract methods).
+``raise AssertionError`` is flagged too: "proven unreachable" states
+have been reached in practice (an exhausted unbounded GED search), and
+asserts vanish under ``python -O`` — raise
+:class:`repro.exceptions.SearchExhaustedError` or another concrete type
+instead.  Bare ``except:`` clauses are banned outright: they swallow
+``KeyboardInterrupt`` and ``SystemExit`` and hide genuine bugs.
 
 Re-raises (``raise`` with no operand, or re-raising a name bound by an
 ``except ... as name`` handler) are always allowed.
@@ -26,12 +29,13 @@ __all__ = ["ExceptionDisciplineRule", "ALLOWED_EXCEPTIONS"]
 
 #: Exception class names library code may raise: every type defined in
 #: :mod:`repro.exceptions` (tracked dynamically so new types are picked
-#: up) plus the programmer-error escapes.
+#: up) plus the programmer-error escape ``NotImplementedError``.
+#: ``AssertionError`` is deliberately absent — see the module docstring.
 ALLOWED_EXCEPTIONS: Set[str] = {
     name
     for name, obj in vars(_exceptions).items()
     if isinstance(obj, type) and issubclass(obj, BaseException)
-} | {"NotImplementedError", "AssertionError"}
+} | {"NotImplementedError"}
 
 
 def _raised_name(exc: ast.expr) -> str:
@@ -77,6 +81,7 @@ class ExceptionDisciplineRule(Rule):
                     module,
                     node.lineno,
                     f"raises {name}; library code raises repro.exceptions "
-                    "types only (or NotImplementedError/AssertionError for "
-                    "programmer errors)",
+                    "types only (or NotImplementedError for abstract "
+                    "methods) — for AssertionError use a concrete type "
+                    "such as SearchExhaustedError",
                 )

@@ -3,7 +3,7 @@
 The repo's layers, lowest first::
 
     exceptions
-    graph
+    runtime   graph
     strings   setcover
     matching  datasets  grams
     ged
@@ -14,7 +14,9 @@ The repo's layers, lowest first::
 Each package may import only itself and packages reachable below it.
 Notably ``ged`` imports ``grams`` (the shared q-gram/label primitives)
 but never ``core`` — the historical ``core <-> ged`` cycle this rule
-exists to keep dead.  ``repro/__init__.py`` (the facade) and
+exists to keep dead.  ``runtime`` (verification budgets, journals,
+fault plans) sits directly above ``exceptions`` so both ``ged`` and
+``core`` may depend on it without creating a cycle.  ``repro/__init__.py`` (the facade) and
 ``repro/__main__.py`` are unrestricted; everything else may not import
 the facade.  A package missing from the table is flagged so the DAG
 must be extended deliberately.
@@ -22,7 +24,7 @@ must be extended deliberately.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Set
+from typing import Dict, Iterator, List, Set
 
 import ast
 
@@ -36,14 +38,15 @@ __all__ = ["LayeringRule", "DIRECT_DEPS", "allowed_layers"]
 #: of their own.
 DIRECT_DEPS: Dict[str, Set[str]] = {
     "exceptions": set(),
+    "runtime": {"exceptions"},
     "graph": {"exceptions"},
     "strings": {"exceptions"},
     "setcover": {"exceptions"},
     "matching": {"graph"},
     "datasets": {"graph"},
     "grams": {"graph", "setcover"},
-    "ged": {"grams", "matching", "strings"},
-    "core": {"ged"},
+    "ged": {"grams", "matching", "strings", "runtime"},
+    "core": {"ged", "runtime"},
     "reporting": {"core"},
     "baselines": {"core"},
     "applications": {"core"},

@@ -24,6 +24,7 @@ from repro.datasets import aids_like, protein_like
 from repro.exceptions import ReproError
 from repro.ged import graph_edit_distance
 from repro.graph import assign_ids, collection_statistics, load_graphs, save_graphs
+from repro.runtime import VerificationBudget
 
 __all__ = ["main", "build_parser"]
 
@@ -57,6 +58,33 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="parallel verification processes (gsimjoin only; default 1)",
+    )
+    join.add_argument(
+        "--budget-expansions",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap A* expansions per pair; undecided pairs get GED bounds",
+    )
+    join.add_argument(
+        "--budget-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="cap A* wall-clock seconds per pair",
+    )
+    join.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="FILE",
+        help="journal verifications to FILE; re-running resumes from it",
+    )
+    join.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="chunk re-dispatches before in-process fallback (workers > 1)",
     )
     join.add_argument("--quiet", action="store_true", help="print only the pairs")
     join.add_argument(
@@ -107,16 +135,37 @@ def _find_graph(graphs, token: str):
 
 def _cmd_join(args) -> int:
     graphs = _load(args.collection)
+    budget = None
+    if args.budget_expansions is not None or args.budget_seconds is not None:
+        budget = VerificationBudget(args.budget_expansions, args.budget_seconds)
+    if args.algorithm != "gsimjoin" and (
+        budget is not None or args.checkpoint is not None
+    ):
+        raise ReproError(
+            "--budget-*/--checkpoint require --algorithm gsimjoin"
+        )
     if args.algorithm == "gsimjoin":
         options = getattr(GSimJoinOptions, args.variant)(q=args.q)
         if args.workers > 1:
             from repro.core.parallel import gsim_join_parallel
 
             result = gsim_join_parallel(
-                graphs, args.tau, options=options, workers=args.workers
+                graphs,
+                args.tau,
+                options=options,
+                workers=args.workers,
+                budget=budget,
+                checkpoint=args.checkpoint,
+                max_retries=args.max_retries,
             )
         else:
-            result = gsim_join(graphs, args.tau, options=options)
+            result = gsim_join(
+                graphs,
+                args.tau,
+                options=options,
+                budget=budget,
+                checkpoint=args.checkpoint,
+            )
     elif args.algorithm == "kat":
         result = kat_join(graphs, args.tau, q=1)
     elif args.algorithm == "appfull":
@@ -168,14 +217,36 @@ _COMMANDS = {
 }
 
 
+#: Exit code for an interrupted run (mirrors the shell's 128 + SIGINT).
+EXIT_INTERRUPTED = 130
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    ``0`` on success, ``1`` on a :class:`~repro.exceptions.ReproError`
+    or OS error, and :data:`EXIT_INTERRUPTED` (130) on Ctrl-C.  An
+    interrupted ``join --checkpoint`` run leaves a valid journal behind
+    (every record is flushed as it is written), so re-running the same
+    command resumes where it stopped.
+    """
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except KeyboardInterrupt:
+        checkpoint = getattr(args, "checkpoint", None)
+        if checkpoint:
+            print(
+                f"interrupted; resume with the same command "
+                f"(journal: {checkpoint})",
+                file=sys.stderr,
+            )
+        else:
+            print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

@@ -24,6 +24,9 @@ exact on heterogeneous collections.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import os
 import time
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -34,10 +37,13 @@ from repro.core.ordering import QGramOrdering, build_ordering
 from repro.core.prefix import PrefixInfo, basic_prefix, minedit_prefix
 from repro.grams.qgrams import QGramProfile, extract_qgrams
 from repro.grams.vocab import QGramVocabulary, build_vocabulary
-from repro.core.result import JoinResult, JoinStatistics
-from repro.core.verify import verify_pair
+from repro.core.result import BoundedPair, JoinResult, JoinStatistics
+from repro.core.verify import VerifyOutcome, verify_pair
 from repro.exceptions import ParameterError
 from repro.graph.graph import Graph
+from repro.runtime.budget import VerificationBudget
+from repro.runtime.faults import FaultPlan
+from repro.runtime.journal import JoinJournal, VerificationRecord
 
 __all__ = ["GSimJoinOptions", "gsim_join", "gsim_join_rs"]
 
@@ -145,6 +151,86 @@ def _build_sorter(
     return build_ordering(profiles)
 
 
+#: Which JoinStatistics counter each filter's ``pruned_by`` tag feeds
+#: (``multicover`` shares the local-label counter, as in verify_pair).
+_PRUNE_COUNTERS: Dict[str, str] = {
+    "global_label": "pruned_by_global_label",
+    "count": "pruned_by_count",
+    "local_label": "pruned_by_local_label",
+    "multicover": "pruned_by_local_label",
+}
+
+
+def _journal_meta(
+    graphs: Sequence[Graph],
+    tau: int,
+    options: GSimJoinOptions,
+    budget: Optional[VerificationBudget],
+) -> dict:
+    """The journal header identifying one join run.
+
+    A resumed join must re-derive exactly the same meta, so it contains
+    only deterministic inputs: a collection fingerprint (id sequence
+    plus per-graph sizes and vertex labels — enough to catch a swapped
+    collection whose ids happen to coincide), ``tau``, the full
+    options, and the budget.
+    """
+    ids_blob = repr(
+        [
+            (
+                g.graph_id,
+                g.num_vertices,
+                g.num_edges,
+                sorted(g.vertex_label_multiset().items()),
+            )
+            for g in graphs
+        ]
+    ).encode("utf-8")
+    return {
+        "kind": "self-join",
+        "n": len(graphs),
+        "tau": tau,
+        "ids_sha": hashlib.sha256(ids_blob).hexdigest()[:16],
+        "options": dataclasses.asdict(options),
+        "budget": (
+            None
+            if budget is None
+            else [budget.max_expansions, budget.max_seconds]
+        ),
+    }
+
+
+def _record_of(i: int, j: int, outcome: VerifyOutcome) -> VerificationRecord:
+    """Freeze one verification outcome into a journal record."""
+    return VerificationRecord(
+        i=i,
+        j=j,
+        is_result=outcome.is_result,
+        pruned_by=outcome.pruned_by,
+        ged=outcome.ged,
+        expansions=outcome.expansions,
+        ged_seconds=outcome.ged_seconds,
+        undecided=outcome.undecided,
+        lower=outcome.lower,
+        upper=outcome.upper,
+    )
+
+
+def _replay_record(stats: JoinStatistics, rec: VerificationRecord) -> None:
+    """Apply a journaled outcome's statistics exactly as verify_pair would."""
+    counter = _PRUNE_COUNTERS.get(rec.pruned_by or "")
+    if counter is not None:
+        setattr(stats, counter, getattr(stats, counter) + 1)
+    if rec.ran_ged:
+        stats.cand2 += 1
+        stats.ged_calls += 1
+        stats.ged_expansions += rec.expansions
+        stats.ged_time += rec.ged_seconds
+    if rec.undecided:
+        stats.undecided += 1
+    stats.replayed_pairs += 1
+
+
 def _prepare_profiles(
     graphs: Sequence[Graph], tau: int, options: GSimJoinOptions, stats: JoinStatistics
 ) -> Tuple[List[QGramProfile], List[PrefixInfo], List[Tuple], Sorter]:
@@ -173,6 +259,9 @@ def gsim_join(
     graphs: Sequence[Graph],
     tau: int,
     options: Optional[GSimJoinOptions] = None,
+    budget: Optional[VerificationBudget] = None,
+    checkpoint: Optional[Union[str, os.PathLike]] = None,
+    fault: Optional[FaultPlan] = None,
 ) -> JoinResult:
     """Self-join: all pairs within edit distance ``tau`` (Algorithm 1).
 
@@ -181,14 +270,34 @@ def gsim_join(
     ``(r.graph_id, s.graph_id)`` tuples ordered by scan position, and
     whose ``stats`` carry every quantity the paper's figures plot.
 
+    Robustness knobs (``docs/ROBUSTNESS.md``) — all default-off, and
+    with the defaults results are bit-identical to the classic join:
+
+    ``budget``
+        Caps each pair's A* effort; pairs the budget cannot decide land
+        in ``result.undecided`` with GED bounds instead of hanging.
+    ``checkpoint``
+        Path of an append-only journal written through as pairs verify;
+        re-running with the same arguments resumes, replaying journaled
+        outcomes so the result equals an uninterrupted run's.
+    ``fault``
+        Deterministic fault injection (tests/chaos only): the plan's
+        fault fires at its configured verification step.
+
     Raises
     ------
     ParameterError
         On negative ``tau``/``q``, missing ids, or duplicate ids.
+    CheckpointError
+        When ``checkpoint`` names a journal from a different run.
     """
     if options is None:
         options = GSimJoinOptions()
     _validate(graphs, tau, options)
+    if budget is not None and options.verifier != "astar":
+        raise ParameterError(
+            "budgeted verification requires the 'astar' verifier"
+        )
 
     stats = JoinStatistics(num_graphs=len(graphs), tau=tau, q=options.q)
     result = JoinResult(stats=stats)
@@ -201,61 +310,94 @@ def gsim_join(
 
     index = InvertedIndex()
     unprunable: List[int] = []
+    journal = (
+        JoinJournal.open(checkpoint, _journal_meta(graphs, tau, options, budget))
+        if checkpoint is not None
+        else None
+    )
+    injector = fault.start() if fault is not None else None
 
-    for i, profile in enumerate(profiles):
-        info = prefixes[i]
-        r = profile.graph
+    try:
+        for i, profile in enumerate(profiles):
+            info = prefixes[i]
+            r = profile.graph
 
-        # --- Candidate generation -----------------------------------
-        started = time.perf_counter()
-        candidate_ids: Dict[int, bool] = {}
-        if info.prunable:
-            for key in profile.prefix_keys(info.length):
-                for j in index.probe(key):
+            # --- Candidate generation -----------------------------------
+            started = time.perf_counter()
+            candidate_ids: Dict[int, bool] = {}
+            if info.prunable:
+                for key in profile.prefix_keys(info.length):
+                    for j in index.probe(key):
+                        if j not in candidate_ids and passes_size_filter(
+                            r, profiles[j].graph, tau
+                        ):
+                            candidate_ids[j] = True
+                for j in unprunable:
                     if j not in candidate_ids and passes_size_filter(
                         r, profiles[j].graph, tau
                     ):
                         candidate_ids[j] = True
-            for j in unprunable:
-                if j not in candidate_ids and passes_size_filter(
-                    r, profiles[j].graph, tau
-                ):
-                    candidate_ids[j] = True
-        else:
-            for j in range(i):
-                if passes_size_filter(r, profiles[j].graph, tau):
-                    candidate_ids[j] = True
-        stats.cand1 += len(candidate_ids)
-        stats.candidate_time += time.perf_counter() - started
+            else:
+                for j in range(i):
+                    if passes_size_filter(r, profiles[j].graph, tau):
+                        candidate_ids[j] = True
+            stats.cand1 += len(candidate_ids)
+            stats.candidate_time += time.perf_counter() - started
 
-        # --- Verification -------------------------------------------
-        started = time.perf_counter()
-        for j in candidate_ids:
-            outcome = verify_pair(
-                profile,
-                profiles[j],
-                tau,
-                labels[i],
-                labels[j],
-                use_local_label=options.local_label,
-                improved_order=options.improved_order,
-                improved_h=options.improved_h,
-                stats=stats,
-                use_multicover=options.multicover,
-                verifier=options.verifier,
-            )
-            if outcome.is_result:
-                result.pairs.append((profiles[j].graph.graph_id, r.graph_id))
-        stats.verify_time += time.perf_counter() - started
+            # --- Verification -------------------------------------------
+            started = time.perf_counter()
+            for j in candidate_ids:
+                rec = (
+                    journal.completed.get((i, j))
+                    if journal is not None
+                    else None
+                )
+                if rec is None:
+                    if injector is not None:
+                        injector.step()
+                    outcome = verify_pair(
+                        profile,
+                        profiles[j],
+                        tau,
+                        labels[i],
+                        labels[j],
+                        use_local_label=options.local_label,
+                        improved_order=options.improved_order,
+                        improved_h=options.improved_h,
+                        stats=stats,
+                        use_multicover=options.multicover,
+                        verifier=options.verifier,
+                        budget=budget,
+                    )
+                    if journal is not None:
+                        journal.append(_record_of(i, j, outcome))
+                    is_result, undecided = outcome.is_result, outcome.undecided
+                    lower, upper = outcome.lower, outcome.upper
+                else:
+                    _replay_record(stats, rec)
+                    is_result, undecided = rec.is_result, rec.undecided
+                    lower, upper = rec.lower, rec.upper
+                if is_result:
+                    result.pairs.append((profiles[j].graph.graph_id, r.graph_id))
+                elif undecided:
+                    result.undecided.append(
+                        BoundedPair(
+                            profiles[j].graph.graph_id, r.graph_id, lower, upper
+                        )
+                    )
+            stats.verify_time += time.perf_counter() - started
 
-        # --- Index maintenance --------------------------------------
-        started = time.perf_counter()
-        if info.prunable:
-            for key in profile.prefix_keys(info.length):
-                index.add(key, i)
-        else:
-            unprunable.append(i)
-        stats.index_time += time.perf_counter() - started
+            # --- Index maintenance --------------------------------------
+            started = time.perf_counter()
+            if info.prunable:
+                for key in profile.prefix_keys(info.length):
+                    index.add(key, i)
+            else:
+                unprunable.append(i)
+            stats.index_time += time.perf_counter() - started
+    finally:
+        if journal is not None:
+            journal.close()
 
     stats.results = len(result.pairs)
     stats.index_distinct_keys = index.num_distinct_keys
@@ -269,6 +411,7 @@ def gsim_join_rs(
     inner: Sequence[Graph],
     tau: int,
     options: Optional[GSimJoinOptions] = None,
+    budget: Optional[VerificationBudget] = None,
 ) -> JoinResult:
     """R×S join: ``{⟨r, s⟩ | ged(r, s) ≤ τ, r ∈ outer, s ∈ inner}``.
 
@@ -276,11 +419,18 @@ def gsim_join_rs(
     probes.  The global q-gram ordering is built over both collections so
     prefixes are comparable.  Result pairs are ``(r.graph_id,
     s.graph_id)``; ids must be distinct within each collection.
+
+    ``budget``, when given, caps per-pair A* effort exactly as in
+    :func:`gsim_join`; undecided pairs land in ``result.undecided``.
     """
     if options is None:
         options = GSimJoinOptions()
     _validate(outer, tau, options)
     _validate(inner, tau, options)
+    if budget is not None and options.verifier != "astar":
+        raise ParameterError(
+            "budgeted verification requires the 'astar' verifier"
+        )
 
     stats = JoinStatistics(
         num_graphs=len(outer) + len(inner), tau=tau, q=options.q
@@ -360,10 +510,20 @@ def gsim_join_rs(
                 stats=stats,
                 use_multicover=options.multicover,
                 verifier=options.verifier,
+                budget=budget,
             )
             if outcome.is_result:
                 result.pairs.append(
                     (r.graph_id, inner_profiles[j].graph.graph_id)
+                )
+            elif outcome.undecided:
+                result.undecided.append(
+                    BoundedPair(
+                        r.graph_id,
+                        inner_profiles[j].graph.graph_id,
+                        outcome.lower,
+                        outcome.upper,
+                    )
                 )
         stats.verify_time += time.perf_counter() - started
 

@@ -10,9 +10,25 @@ construction / candidate generation / GED computation).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, List, Tuple
+from typing import Hashable, List, NamedTuple, Optional, Tuple
 
-__all__ = ["JoinStatistics", "JoinResult"]
+__all__ = ["JoinStatistics", "JoinResult", "BoundedPair"]
+
+
+class BoundedPair(NamedTuple):
+    """A candidate pair the join could not decide exactly.
+
+    Produced by budgeted verification (``lower ≤ ged ≤ upper`` brackets
+    ``tau`` — see ``docs/ROBUSTNESS.md``) or by the parallel executor's
+    in-process fallback when a pair kept failing (``reason="error"``,
+    bounds unknown).  ``upper=None`` means no upper bound was obtained.
+    """
+
+    r_id: Hashable
+    s_id: Hashable
+    lower: Optional[int]
+    upper: Optional[int]
+    reason: str = "budget"
 
 
 @dataclass
@@ -45,6 +61,12 @@ class JoinStatistics:
     ged_calls: int = 0
     ged_expansions: int = 0
 
+    undecided: int = 0  #: pairs whose budget-bounded verdict spans tau
+    replayed_pairs: int = 0  #: pairs skipped on resume via the journal
+    chunk_retries: int = 0  #: parallel chunks re-dispatched after a failure
+    fallback_pairs: int = 0  #: pairs verified in-process after max_retries
+    failed_pairs: int = 0  #: pairs unverifiable even in the fallback
+
     @property
     def total_time(self) -> float:
         return self.index_time + self.candidate_time + self.verify_time
@@ -55,7 +77,7 @@ class JoinStatistics:
 
     def summary(self) -> str:
         """One-line human-readable summary (used by examples/benchmarks)."""
-        return (
+        text = (
             f"n={self.num_graphs} tau={self.tau} q={self.q} | "
             f"cand1={self.cand1} cand2={self.cand2} results={self.results} | "
             f"avg prefix={self.avg_prefix_length:.1f} "
@@ -64,14 +86,26 @@ class JoinStatistics:
             f"t_verify={self.verify_time:.3f}s (ged {self.ged_time:.3f}s, "
             f"{self.ged_calls} calls)"
         )
+        if self.undecided or self.failed_pairs:
+            text += (
+                f" | undecided={self.undecided} failed={self.failed_pairs}"
+            )
+        return text
 
 
 @dataclass
 class JoinResult:
-    """Result pairs (as graph-id tuples) plus the run's statistics."""
+    """Result pairs (as graph-id tuples) plus the run's statistics.
+
+    ``undecided`` is the budgeted-execution channel: pairs whose exact
+    verdict the verification budget (or the fault-recovery fallback)
+    could not produce, each with the best known ``lower``/``upper`` GED
+    bounds.  Without a budget and without faults it is always empty.
+    """
 
     pairs: List[Tuple[Hashable, Hashable]] = field(default_factory=list)
     stats: JoinStatistics = field(default_factory=JoinStatistics)
+    undecided: List[BoundedPair] = field(default_factory=list)
 
     def pair_set(self) -> set:
         """The result pairs as a set for comparisons in tests."""

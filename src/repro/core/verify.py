@@ -26,6 +26,7 @@ from repro.exceptions import ParameterError
 from repro.ged.astar import graph_edit_distance_detailed
 from repro.ged.heuristics import label_heuristic, make_local_label_heuristic
 from repro.ged.vertex_order import input_vertex_order, mismatch_vertex_order
+from repro.runtime.budget import VerificationBudget
 
 __all__ = ["VerifyOutcome", "verify_pair"]
 
@@ -37,13 +38,28 @@ class VerifyOutcome:
     """Why a pair was accepted or rejected.
 
     ``pruned_by`` is one of ``"global_label"``, ``"count"``,
-    ``"local_label"``, ``"ged"`` or ``None`` (accepted); ``ged`` is the
-    (threshold-capped) distance when the computation ran.
+    ``"local_label"``, ``"multicover"``, ``"ged"`` or ``None``
+    (accepted); ``ged`` is the (threshold-capped) distance when the
+    computation ran and decided exactly.
+
+    Budgeted verification adds three fields: ``undecided`` marks a pair
+    whose A* exhausted its budget with ``lower ≤ tau < upper`` (the
+    join routes it to the ``undecided`` channel), and
+    ``lower``/``upper`` carry the bounded verdict whenever the budget
+    ran out — including for pairs the bounds *did* decide (accepted
+    because ``upper ≤ tau``, or rejected because ``lower > tau``).
+    ``expansions``/``ged_seconds`` record the A* cost of this single
+    pair so the outcome can be journaled and replayed exactly.
     """
 
     is_result: bool
     pruned_by: Optional[str]
     ged: Optional[int] = None
+    undecided: bool = False
+    lower: Optional[int] = None
+    upper: Optional[int] = None
+    expansions: int = 0
+    ged_seconds: float = 0.0
 
 
 def verify_pair(
@@ -58,6 +74,7 @@ def verify_pair(
     stats: Optional[JoinStatistics] = None,
     use_multicover: bool = False,
     verifier: str = "astar",
+    budget: Optional[VerificationBudget] = None,
 ) -> VerifyOutcome:
     """Run Algorithm 6 on one candidate pair.
 
@@ -69,6 +86,17 @@ def verify_pair(
     :func:`repro.grams.labels.multicover_min_edit_bound`).
     ``stats``, when given, accrues the Cand-2 counter, filter prune
     counters, and GED timings.
+
+    ``budget`` caps the A* effort; on exhaustion the outcome is decided
+    from the bounded verdict when possible (``upper <= tau`` accepts,
+    ``lower > tau`` rejects) and marked ``undecided`` otherwise — never
+    an exception or a hang.  Budgets require the ``"astar"`` verifier.
+
+    Raises
+    ------
+    ParameterError
+        On an unknown verifier, or a ``budget`` combined with the
+        ``"dfs"`` verifier (which has no bounded-verdict mode).
     """
     r, s = p_r.graph, p_s.graph
 
@@ -128,6 +156,10 @@ def verify_pair(
     heuristic = make_local_label_heuristic(p_r.q, tau) if improved_h else label_heuristic
     started = time.perf_counter()
     if verifier == "dfs":
+        if budget is not None:
+            raise ParameterError(
+                "budgeted verification requires the 'astar' verifier"
+            )
         from repro.ged.dfs import dfs_ged
 
         search = dfs_ged(
@@ -135,14 +167,42 @@ def verify_pair(
         )
     elif verifier == "astar":
         search = graph_edit_distance_detailed(
-            r, s, threshold=tau, heuristic=heuristic, vertex_order=order
+            r, s, threshold=tau, heuristic=heuristic, vertex_order=order,
+            budget=budget,
         )
     else:
         raise ParameterError(f"unknown verifier {verifier!r}")
+    elapsed = time.perf_counter() - started
     if stats:
-        stats.ged_time += time.perf_counter() - started
+        stats.ged_time += elapsed
         stats.ged_calls += 1
         stats.ged_expansions += search.expanded
+    if getattr(search, "budget_exhausted", False):
+        lower, upper = search.lower, search.upper
+        if upper is not None and upper <= tau:
+            # ged <= upper <= tau: membership decided despite exhaustion.
+            return VerifyOutcome(
+                True, None, None, lower=lower, upper=upper,
+                expansions=search.expanded, ged_seconds=elapsed,
+            )
+        if lower is not None and lower > tau:
+            # tau < lower <= ged: decided rejection.
+            return VerifyOutcome(
+                False, "ged", None, lower=lower, upper=upper,
+                expansions=search.expanded, ged_seconds=elapsed,
+            )
+        if stats:
+            stats.undecided += 1
+        return VerifyOutcome(
+            False, None, None, undecided=True, lower=lower, upper=upper,
+            expansions=search.expanded, ged_seconds=elapsed,
+        )
     if search.distance <= tau:
-        return VerifyOutcome(True, None, search.distance)
-    return VerifyOutcome(False, "ged", search.distance)
+        return VerifyOutcome(
+            True, None, search.distance,
+            expansions=search.expanded, ged_seconds=elapsed,
+        )
+    return VerifyOutcome(
+        False, "ged", search.distance,
+        expansions=search.expanded, ged_seconds=elapsed,
+    )

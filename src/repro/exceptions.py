@@ -31,3 +31,32 @@ class ParameterError(ReproError):
     Examples: a negative edit distance threshold, or a negative q-gram
     length.
     """
+
+
+class SearchExhaustedError(ReproError):
+    """Raised when a GED search exhausts its space without reaching a goal.
+
+    For an unbounded search over a finite mapping tree this is provably
+    unreachable (mapping every vertex to ε is always a goal), so seeing
+    it means the search implementation itself is broken — but it is a
+    library error, not a programmer ``AssertionError``, because callers
+    deserve a catchable ``ReproError`` even for "impossible" states.
+    """
+
+
+class CheckpointError(ReproError):
+    """Raised when a checkpoint journal cannot be used.
+
+    Examples: resuming a join against a journal written by a different
+    collection / ``tau`` / ``q`` / options, or a journal whose body is
+    corrupt beyond the tolerated torn final line.
+    """
+
+
+class InjectedFaultError(ReproError):
+    """Raised by the deterministic fault injector (``repro.runtime.faults``).
+
+    Only ever raised when a test (or chaos run) explicitly arms a
+    :class:`~repro.runtime.faults.FaultPlan`; production joins never see
+    it.
+    """

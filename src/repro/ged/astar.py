@@ -13,6 +13,14 @@ A ``threshold`` turns the search into the verifier used by the join:
 states with ``f > threshold`` are pruned and the function reports
 ``threshold + 1`` when the true distance exceeds the threshold — all the
 join needs to know.
+
+A ``budget`` (:class:`repro.runtime.budget.VerificationBudget`) caps the
+search in expansions and/or seconds.  On exhaustion the search does not
+fail: it returns a *bounded verdict* — ``lower`` is the minimum ``f``
+over the open list (every goal descends from an open state or was
+threshold-pruned, so ``lower ≤ ged``) and ``upper`` is the cost of a
+greedy completion of the best open state (the cost of an actual mapping,
+so ``ged ≤ upper``).  With ``budget=None`` behavior is unchanged.
 """
 
 from __future__ import annotations
@@ -22,9 +30,10 @@ import itertools
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from repro.exceptions import ParameterError
+from repro.exceptions import ParameterError, SearchExhaustedError
 from repro.ged.heuristics import Heuristic, label_heuristic
 from repro.graph.graph import Graph, Vertex
+from repro.runtime.budget import VerificationBudget
 
 __all__ = ["graph_edit_distance", "graph_edit_distance_detailed", "ged_within", "GedSearchResult"]
 
@@ -35,12 +44,19 @@ class GedSearchResult:
 
     ``distance`` is exact when ``<= threshold`` (or when no threshold was
     given); ``threshold + 1`` signals "greater than the threshold".
+
+    When ``budget_exhausted`` is set the search ran out of budget before
+    deciding: ``lower ≤ ged ≤ upper`` brackets the true distance and
+    ``distance`` equals ``upper`` (the best mapping actually found).
     """
 
     distance: int
     expanded: int  #: states popped from the queue
     generated: int  #: states pushed onto the queue
     exceeded_threshold: bool
+    budget_exhausted: bool = False
+    lower: Optional[int] = None  #: bounded-verdict lower bound on ged
+    upper: Optional[int] = None  #: bounded-verdict upper bound on ged
 
 
 def _extension_cost(
@@ -92,12 +108,47 @@ def _completion_cost(s: Graph, used: frozenset) -> int:
     return cost
 
 
+def _greedy_upper_bound(
+    r: Graph,
+    s: Graph,
+    order: Sequence[Vertex],
+    s_vertices: Sequence[Vertex],
+    mapping: Tuple[Optional[Vertex], ...],
+    used: frozenset,
+    g: int,
+) -> int:
+    """Cost of greedily completing a partial mapping (a true upper bound).
+
+    Extends ``mapping`` one vertex at a time, always taking the locally
+    cheapest image (or ε), then pays for the unmatched rest of ``s``.
+    The result is the exact cost of one achievable mapping, hence
+    ``ged(r, s) <= result`` regardless of how bad the greedy choices are.
+    """
+    total = g
+    for k in range(len(mapping), len(order)):
+        u = order[k]
+        best_delta = _extension_cost(r, s, order, mapping, u, None)
+        best_v: Optional[Vertex] = None
+        for v in s_vertices:
+            if v in used:
+                continue
+            delta = _extension_cost(r, s, order, mapping, u, v)
+            if delta < best_delta:
+                best_delta, best_v = delta, v
+        total += best_delta
+        mapping = mapping + (best_v,)
+        if best_v is not None:
+            used = used | {best_v}
+    return total + _completion_cost(s, used)
+
+
 def graph_edit_distance_detailed(
     r: Graph,
     s: Graph,
     threshold: Optional[int] = None,
     heuristic: Heuristic = label_heuristic,
     vertex_order: Optional[Sequence[Vertex]] = None,
+    budget: Optional[VerificationBudget] = None,
 ) -> GedSearchResult:
     """Run the A* search and return the distance with search statistics.
 
@@ -111,6 +162,10 @@ def graph_edit_distance_detailed(
     vertex_order:
         Order in which ``r``'s vertices are mapped; defaults to insertion
         order.  Must be a permutation of ``V(r)``.
+    budget:
+        Optional effort cap.  On exhaustion the result carries
+        ``budget_exhausted=True`` and a ``lower ≤ ged ≤ upper`` bracket
+        instead of an exact distance (see the module docstring).
 
     Raises
     ------
@@ -152,7 +207,29 @@ def graph_edit_distance_detailed(
         heapq.heappush(heap, (start_f, -0, next(counter), 0, (), empty_used))
         generated += 1
 
+    meter = budget.start() if budget is not None else None
+
     while heap:
+        if meter is not None and not meter.tick():
+            # Budget exhausted: degrade to a bounded verdict.  Every
+            # goal descends from an open state (lower bound = min f over
+            # the open list; threshold-pruned branches cost > threshold
+            # >= that f) and greedily completing the best open state
+            # yields an achievable mapping (upper bound).
+            lower = heap[0][0]
+            _bf, _bk, _bt, bg, bmapping, bused = heap[0]
+            upper = _greedy_upper_bound(
+                r, s, order, s_vertices, bmapping, bused, bg
+            )
+            return GedSearchResult(
+                upper,
+                expanded,
+                generated,
+                False,
+                budget_exhausted=True,
+                lower=lower,
+                upper=upper,
+            )
         f, _neg_k, _tie, g, mapping, used = heapq.heappop(heap)
         k = len(mapping)
         expanded += 1
@@ -183,7 +260,9 @@ def graph_edit_distance_detailed(
             generated += 1
 
     if threshold is None:
-        raise AssertionError("unbounded GED search exhausted without a goal")
+        raise SearchExhaustedError(
+            "unbounded GED search exhausted without a goal"
+        )
     return GedSearchResult(threshold + 1, expanded, generated, True)
 
 

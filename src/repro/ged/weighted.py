@@ -23,7 +23,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.exceptions import ParameterError
+from repro.exceptions import ParameterError, SearchExhaustedError
 from repro.graph.graph import Graph, Label, Vertex
 
 __all__ = ["CostModel", "weighted_ged", "weighted_induced_cost"]
@@ -278,5 +278,5 @@ def weighted_ged(
             )
 
     if threshold is None:
-        raise AssertionError("unbounded weighted GED search exhausted")
+        raise SearchExhaustedError("unbounded weighted GED search exhausted")
     return float("inf")

@@ -21,9 +21,9 @@ from __future__ import annotations
 
 import io
 import os
-from typing import Iterable, List, Sequence, TextIO, Union
+from typing import Iterable, List, Optional, Sequence, TextIO, Tuple, Union
 
-from repro.exceptions import GraphError, GraphFormatError
+from repro.exceptions import GraphError, GraphFormatError, ParameterError
 from repro.graph.graph import Graph
 
 __all__ = [
@@ -37,15 +37,31 @@ __all__ = [
 ]
 
 
-def _parse(stream: TextIO, source: str) -> List[Graph]:
+#: One lenient-mode parse report: ``(lineno, reason)``.
+ParseReport = Tuple[int, str]
+
+
+def _parse(
+    stream: TextIO,
+    source: str,
+    on_error: str = "raise",
+    errors: Optional[List[ParseReport]] = None,
+) -> List[Graph]:
+    if on_error not in ("raise", "skip"):
+        raise ParameterError(
+            f"on_error must be 'raise' or 'skip', got {on_error!r}"
+        )
     graphs: List[Graph] = []
-    current: Graph = None  # type: ignore[assignment]
+    current: Optional[Graph] = None
+    skip_graph = False  # swallowing the rest of a dropped graph
     for lineno, raw in enumerate(stream, start=1):
         line = raw.strip()
         if not line or line.startswith("#"):
             continue
         fields = line.split()
         tag = fields[0]
+        reason: Optional[str] = None
+        cause: Optional[Exception] = None
         try:
             if tag == "t":
                 # "t # <id> [directed]"; the id may be omitted.
@@ -55,47 +71,80 @@ def _parse(stream: TextIO, source: str) -> List[Graph]:
                     gid = int(fields[2]) if fields[2].lstrip("-").isdigit() else fields[2]
                 current = Graph(gid, directed=directed)
                 graphs.append(current)
+                skip_graph = False
             elif tag == "v":
+                if skip_graph:
+                    continue
                 if current is None:
-                    raise GraphFormatError(f"{source}:{lineno}: 'v' before 't'")
-                vid = int(fields[1])
-                label = " ".join(fields[2:])
-                current.add_vertex(vid, label)
+                    reason = "'v' before 't'"
+                else:
+                    vid = int(fields[1])
+                    label = " ".join(fields[2:])
+                    current.add_vertex(vid, label)
             elif tag == "e":
+                if skip_graph:
+                    continue
                 if current is None:
-                    raise GraphFormatError(f"{source}:{lineno}: 'e' before 't'")
-                u, v = int(fields[1]), int(fields[2])
-                label = " ".join(fields[3:])
-                current.add_edge(u, v, label)
+                    reason = "'e' before 't'"
+                else:
+                    u, v = int(fields[1]), int(fields[2])
+                    label = " ".join(fields[3:])
+                    current.add_edge(u, v, label)
             else:
-                raise GraphFormatError(
-                    f"{source}:{lineno}: unknown record type {tag!r}"
-                )
-        except GraphFormatError:
-            raise
+                reason = f"unknown record type {tag!r}"
         except GraphError as exc:
-            raise GraphFormatError(f"{source}:{lineno}: {exc}") from exc
+            reason, cause = str(exc), exc
         except (IndexError, ValueError) as exc:
-            raise GraphFormatError(f"{source}:{lineno}: malformed line {line!r}") from exc
+            reason, cause = f"malformed line {line!r}", exc
+        if reason is None:
+            continue
+        if on_error == "raise":
+            raise GraphFormatError(f"{source}:{lineno}: {reason}") from cause
+        if errors is not None:
+            errors.append((lineno, reason))
+        # A graph with any corrupt record is dropped whole — a partially
+        # loaded graph would silently change join results.
+        if current is not None and graphs and graphs[-1] is current:
+            graphs.pop()
+            skip_graph = True
+        current = None
     return graphs
 
 
-def load_graphs(path: Union[str, os.PathLike]) -> List[Graph]:
+def load_graphs(
+    path: Union[str, os.PathLike],
+    on_error: str = "raise",
+    errors: Optional[List[ParseReport]] = None,
+) -> List[Graph]:
     """Load a graph collection from a text file.
+
+    ``on_error`` selects what happens on malformed input: ``"raise"``
+    (the default) aborts with :class:`GraphFormatError`; ``"skip"``
+    drops the graph containing the corrupt record — whole, never
+    partially — and keeps loading.  In lenient mode each offending line
+    is appended to ``errors`` (when given) as a ``(lineno, reason)``
+    tuple, so callers can report what was lost.
 
     Raises
     ------
     GraphFormatError
-        On malformed input (unknown record type, edge before its graph,
-        non-integer vertex ids, duplicate vertices/edges, ...).
+        With ``on_error="raise"``, on malformed input (unknown record
+        type, edge before its graph, non-integer vertex ids, duplicate
+        vertices/edges, ...).
+    ParameterError
+        On an unknown ``on_error`` value.
     """
     with open(path, "r", encoding="utf-8") as f:
-        return _parse(f, str(path))
+        return _parse(f, str(path), on_error=on_error, errors=errors)
 
 
-def loads_graphs(text: str) -> List[Graph]:
+def loads_graphs(
+    text: str,
+    on_error: str = "raise",
+    errors: Optional[List[ParseReport]] = None,
+) -> List[Graph]:
     """Parse a graph collection from a string (see :func:`load_graphs`)."""
-    return _parse(io.StringIO(text), "<string>")
+    return _parse(io.StringIO(text), "<string>", on_error=on_error, errors=errors)
 
 
 def dumps_graphs(graphs: Iterable[Graph]) -> str:

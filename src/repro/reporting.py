@@ -37,9 +37,15 @@ def stats_to_dict(stats: JoinStatistics) -> dict:
 
 
 def result_to_dict(result: JoinResult) -> dict:
-    """``{"pairs": [[r, s], ...], "stats": {...}}``."""
+    """``{"pairs": [...], "undecided": [...], "stats": {...}}``.
+
+    Each ``undecided`` entry carries the pair ids, the best known
+    ``lower``/``upper`` GED bounds, and the ``reason`` (``"budget"`` or
+    ``"error"``) — see :class:`~repro.core.result.BoundedPair`.
+    """
     return {
         "pairs": [list(pair) for pair in result.pairs],
+        "undecided": [bp._asdict() for bp in result.undecided],
         "stats": stats_to_dict(result.stats),
     }
 

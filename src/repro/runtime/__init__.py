@@ -1,0 +1,30 @@
+"""Join execution runtime: budgets, checkpointing, fault injection.
+
+This layer gives the join the survival properties a production system
+needs (see ``docs/ROBUSTNESS.md``):
+
+* :class:`VerificationBudget` — bounded-effort GED verification with
+  graceful degradation to bounded verdicts;
+* :class:`JoinJournal` / :class:`VerificationRecord` — append-only,
+  torn-write-tolerant checkpoint journal enabling resume;
+* :class:`FaultPlan` — deterministic fault injection used to lock down
+  every recovery path of the fault-tolerant parallel executor.
+
+It sits *below* :mod:`repro.core` in the layering DAG (it depends only
+on :mod:`repro.exceptions`), so both :mod:`repro.ged` and
+:mod:`repro.core` can use it.
+"""
+
+from repro.runtime.budget import BudgetMeter, VerificationBudget
+from repro.runtime.faults import FaultInjector, FaultPlan, seeded_at
+from repro.runtime.journal import JoinJournal, VerificationRecord
+
+__all__ = [
+    "VerificationBudget",
+    "BudgetMeter",
+    "JoinJournal",
+    "VerificationRecord",
+    "FaultPlan",
+    "FaultInjector",
+    "seeded_at",
+]

@@ -1,0 +1,116 @@
+"""Deterministic fault injection for join execution tests.
+
+The fault-tolerant executor's recovery paths (worker crash, worker
+hang, verification exception) are impossible to exercise reliably with
+real faults, so this module provides a deterministic injector: a
+:class:`FaultPlan` armed on a join fires exactly once, at the ``at``-th
+verification observed by the process executing it.
+
+Kinds
+-----
+``"raise"``
+    Raise :class:`~repro.exceptions.InjectedFaultError`.
+``"hang"``
+    Sleep ``hang_seconds`` (simulating a wedged A*/worker; the
+    executor's chunk timeout is what rescues the join).
+``"kill"``
+    ``os._exit(1)`` — the process dies without cleanup, exactly like an
+    OOM kill.  Only meaningful in a worker process or a sacrificial
+    subprocess.
+
+Plans are immutable and picklable, so the parent can arm them on pool
+workers.  A ``latch_path`` makes a plan *fire once globally*: firing
+atomically creates the latch file first, so when the executor retries
+the poisoned chunk (possibly in a fresh process) the plan stays quiet
+and the retry succeeds — the deterministic "crash once, recover" script
+the tests are built on.  ``seeded_at`` derives a reproducible firing
+point from a seed when a test wants variety without nondeterminism.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from random import Random
+from typing import Optional
+
+from repro.exceptions import InjectedFaultError, ParameterError
+
+__all__ = ["FaultPlan", "FaultInjector", "seeded_at"]
+
+_KINDS = ("raise", "hang", "kill")
+
+
+def seeded_at(seed: int, max_at: int) -> int:
+    """A reproducible firing point in ``[1, max_at]`` derived from ``seed``."""
+    if max_at < 1:
+        raise ParameterError(f"max_at must be >= 1, got {max_at}")
+    return Random(seed).randint(1, max_at)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Fire one fault at the ``at``-th verification (1-based).
+
+    ``latch_path``, when set, names a file used as a fire-once latch
+    across processes and retries; without it the plan fires every time
+    a fresh process's verification counter reaches ``at``.
+    """
+
+    kind: str
+    at: int
+    hang_seconds: float = 30.0
+    latch_path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        """Validate the plan's kind and firing point."""
+        if self.kind not in _KINDS:
+            raise ParameterError(
+                f"fault kind must be one of {_KINDS}, got {self.kind!r}"
+            )
+        if self.at < 1:
+            raise ParameterError(f"fault 'at' must be >= 1, got {self.at}")
+
+    def start(self) -> "FaultInjector":
+        """A fresh per-process injector (verification counter at zero)."""
+        return FaultInjector(self)
+
+
+class FaultInjector:
+    """Per-process counter that fires its plan's fault at the right step."""
+
+    __slots__ = ("plan", "count")
+
+    def __init__(self, plan: FaultPlan) -> None:
+        """Arm ``plan`` with the verification counter at zero."""
+        self.plan = plan
+        self.count = 0
+
+    def _claim_latch(self) -> bool:
+        """Atomically claim the fire-once latch; True if we may fire."""
+        if self.plan.latch_path is None:
+            return True
+        try:
+            fd = os.open(
+                self.plan.latch_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+            )
+        except FileExistsError:
+            return False
+        os.close(fd)
+        return True
+
+    def step(self) -> None:
+        """Count one verification; fire the fault when the plan says so."""
+        self.count += 1
+        if self.count != self.plan.at or not self._claim_latch():
+            return
+        if self.plan.kind == "raise":
+            raise InjectedFaultError(
+                f"injected fault at verification #{self.plan.at}"
+            )
+        if self.plan.kind == "hang":
+            time.sleep(self.plan.hang_seconds)
+            return
+        # "kill": die like an OOM-killed worker -- no cleanup, no excuses.
+        os._exit(1)

@@ -29,3 +29,8 @@ def reraise():
 def waived():
     """A justified foreign raise can be waived."""
     raise RuntimeError("no")  # repro: ignore[exceptions]
+
+
+def unreachable():
+    """AssertionError is no longer a sanctioned escape."""
+    raise AssertionError("impossible")  # line 36: exceptions

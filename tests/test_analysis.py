@@ -74,6 +74,11 @@ def test_layering_closure_matches_issue_dag():
     assert "grams" in allowed_layers("ged")
     assert {"exceptions", "graph", "setcover"} <= allowed_layers("grams")
     assert "core" in allowed_layers("cli")
+    # The runtime layer sits just above exceptions; ged and core may use
+    # it, but it may never reach back up into either.
+    assert allowed_layers("runtime") == {"runtime", "exceptions"}
+    assert "runtime" in allowed_layers("ged")
+    assert "runtime" in allowed_layers("core")
 
 
 def test_real_tree_has_no_cycle():
@@ -103,7 +108,8 @@ def test_determinism_flags_global_rng():
 
 def test_exception_discipline():
     path = FIXTURES / "repro" / "core" / "exc_fixture.py"
-    assert lines_for("exceptions", path) == [10, 11]
+    # 10: bare except; 11: foreign raise; 36: raise AssertionError.
+    assert lines_for("exceptions", path) == [10, 11, 36]
 
 
 # ----------------------------------------------------------- hot-path alloc

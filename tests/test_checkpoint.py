@@ -1,0 +1,150 @@
+"""Checkpoint/resume tests: a join killed mid-run resumes bit-identically.
+
+The hard case runs in a sacrificial subprocess that ``os._exit(1)``\\ s
+mid-verification (via the ``kill`` fault), leaving a write-through
+journal behind; the parent resumes from that journal and must produce
+exactly the result of an uninterrupted run, on both the interned and
+the object-key pipeline.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.join import GSimJoinOptions, gsim_join
+from repro.core.parallel import gsim_join_parallel
+from repro.exceptions import CheckpointError, InjectedFaultError
+from repro.graph import assign_ids, load_graphs, save_graphs
+from repro.runtime import FaultPlan
+
+from .test_join import molecule_collection
+
+SRC = str(Path(__file__).parent.parent / "src")
+TAU = 2
+KILL_AT = 5
+
+DRIVER = """
+import sys
+from repro.core.join import GSimJoinOptions, gsim_join
+from repro.graph import assign_ids, load_graphs
+from repro.runtime import FaultPlan
+
+collection, checkpoint, interned = sys.argv[1], sys.argv[2], sys.argv[3] == "1"
+graphs = assign_ids(load_graphs(collection))
+gsim_join(
+    graphs,
+    {tau},
+    options=GSimJoinOptions(interned=interned),
+    checkpoint=checkpoint,
+    fault=FaultPlan("kill", at={kill_at}),
+)
+""".format(tau=TAU, kill_at=KILL_AT)
+
+
+def assert_same_result(resumed, clean):
+    assert resumed.pairs == clean.pairs
+    assert resumed.undecided == clean.undecided
+    for field in ("cand1", "cand2", "results", "ged_calls",
+                  "ged_expansions", "undecided", "pruned_by_count",
+                  "pruned_by_global_label", "pruned_by_local_label"):
+        assert getattr(resumed.stats, field) == getattr(clean.stats, field)
+
+
+@pytest.fixture
+def collection(tmp_path):
+    path = tmp_path / "graphs.txt"
+    save_graphs(molecule_collection(20, seed=23), path)
+    return path
+
+
+@pytest.mark.parametrize("interned", [True, False])
+class TestKilledJoinResumes:
+    def test_subprocess_kill_then_resume(self, collection, tmp_path, interned):
+        journal = tmp_path / "join.jsonl"
+        proc = subprocess.run(
+            [sys.executable, "-c", DRIVER, str(collection), str(journal),
+             "1" if interned else "0"],
+            env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+            capture_output=True,
+            timeout=120,
+        )
+        # The injected kill is an os._exit(1): no traceback, just death.
+        assert proc.returncode == 1
+        assert journal.exists()
+
+        graphs = assign_ids(load_graphs(collection))
+        options = GSimJoinOptions(interned=interned)
+        clean = gsim_join(graphs, TAU, options=options)
+        resumed = gsim_join(graphs, TAU, options=options, checkpoint=journal)
+        assert_same_result(resumed, clean)
+        # The kill fired at verification KILL_AT, after KILL_AT - 1
+        # records had been flushed — all of them must be replayed.
+        assert resumed.stats.replayed_pairs == KILL_AT - 1
+
+
+@pytest.mark.parametrize("interned", [True, False])
+class TestInProcessFaultResumes:
+    def test_raise_fault_then_resume(self, tmp_path, interned):
+        graphs = molecule_collection(20, seed=23)
+        options = GSimJoinOptions(interned=interned)
+        journal = tmp_path / "join.jsonl"
+        with pytest.raises(InjectedFaultError):
+            gsim_join(graphs, TAU, options=options, checkpoint=journal,
+                      fault=FaultPlan("raise", at=KILL_AT))
+        clean = gsim_join(graphs, TAU, options=options)
+        resumed = gsim_join(graphs, TAU, options=options, checkpoint=journal)
+        assert_same_result(resumed, clean)
+        assert resumed.stats.replayed_pairs == KILL_AT - 1
+
+
+class TestResumeGuards:
+    def test_resume_with_different_tau_refused(self, tmp_path):
+        graphs = molecule_collection(12, seed=29)
+        journal = tmp_path / "join.jsonl"
+        gsim_join(graphs, 1, checkpoint=journal)
+        with pytest.raises(CheckpointError, match="different run"):
+            gsim_join(graphs, 2, checkpoint=journal)
+
+    def test_resume_with_different_collection_refused(self, tmp_path):
+        journal = tmp_path / "join.jsonl"
+        gsim_join(molecule_collection(12, seed=29), 1, checkpoint=journal)
+        with pytest.raises(CheckpointError, match="different run"):
+            gsim_join(molecule_collection(12, seed=31), 1, checkpoint=journal)
+
+    def test_completed_run_resumes_as_pure_replay(self, tmp_path):
+        graphs = molecule_collection(16, seed=37)
+        journal = tmp_path / "join.jsonl"
+        first = gsim_join(graphs, TAU, checkpoint=journal)
+        second = gsim_join(graphs, TAU, checkpoint=journal)
+        assert_same_result(second, first)
+        assert second.stats.replayed_pairs == first.stats.cand1
+        assert first.stats.replayed_pairs == 0
+
+
+class TestParallelCheckpoint:
+    def test_parallel_writes_and_replays_journal(self, tmp_path):
+        graphs = molecule_collection(20, seed=41)
+        journal = tmp_path / "join.jsonl"
+        first = gsim_join_parallel(
+            graphs, TAU, workers=2, chunk_size=4, checkpoint=journal
+        )
+        second = gsim_join_parallel(
+            graphs, TAU, workers=2, chunk_size=4, checkpoint=journal
+        )
+        assert_same_result(second, first)
+        assert second.stats.replayed_pairs == first.stats.cand1
+
+    def test_sequential_journal_resumes_parallel_and_back(self, tmp_path):
+        """The journal is executor-agnostic: records only depend on the
+        deterministic scan, so sequential and parallel runs share it."""
+        graphs = molecule_collection(20, seed=43)
+        journal = tmp_path / "join.jsonl"
+        clean = gsim_join(graphs, TAU)
+        first = gsim_join(graphs, TAU, checkpoint=journal)
+        resumed = gsim_join_parallel(
+            graphs, TAU, workers=2, chunk_size=4, checkpoint=journal
+        )
+        assert_same_result(resumed, clean)
+        assert resumed.stats.replayed_pairs == first.stats.cand1

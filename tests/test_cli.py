@@ -124,3 +124,84 @@ class TestCliExtensions:
         data = json.loads(out.read_text())
         assert data["stats"]["tau"] == 1
         assert isinstance(data["pairs"], list)
+        assert data["undecided"] == []
+
+
+class TestRobustnessFlags:
+    def test_budget_flags_accepted(self, collection_file, capsys):
+        main(["join", collection_file, "--tau", "2", "--quiet"])
+        expected = capsys.readouterr().out
+        assert main(
+            ["join", collection_file, "--tau", "2", "--quiet",
+             "--budget-expansions", "1000000", "--budget-seconds", "60"]
+        ) == 0
+        assert capsys.readouterr().out == expected
+
+    def test_checkpoint_run_then_resume(self, collection_file, tmp_path, capsys):
+        journal = tmp_path / "join.jsonl"
+        assert main(
+            ["join", collection_file, "--tau", "2", "--quiet",
+             "--checkpoint", str(journal)]
+        ) == 0
+        first = capsys.readouterr().out
+        assert journal.exists()
+        assert main(
+            ["join", collection_file, "--tau", "2", "--quiet",
+             "--checkpoint", str(journal)]
+        ) == 0
+        assert capsys.readouterr().out == first
+
+    def test_checkpoint_mismatch_is_error_not_traceback(
+        self, collection_file, tmp_path, capsys
+    ):
+        journal = tmp_path / "join.jsonl"
+        assert main(
+            ["join", collection_file, "--tau", "1", "--quiet",
+             "--checkpoint", str(journal)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["join", collection_file, "--tau", "2", "--quiet",
+             "--checkpoint", str(journal)]
+        ) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_budget_with_baseline_is_error(self, tiny_file, capsys):
+        assert main(
+            ["join", tiny_file, "--tau", "1", "--algorithm", "naive",
+             "--budget-expansions", "5"]
+        ) == 1
+        assert "gsimjoin" in capsys.readouterr().err
+
+    def test_keyboard_interrupt_exit_code(self, tiny_file, capsys, monkeypatch):
+        import repro.cli as cli
+
+        def interrupt(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setitem(cli._COMMANDS, "join", interrupt)
+        code = main(
+            ["join", tiny_file, "--tau", "1", "--checkpoint", "j.jsonl"]
+        )
+        assert code == cli.EXIT_INTERRUPTED == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err and "j.jsonl" in err
+
+    def test_repro_error_exit_code_via_subprocess(self):
+        """``python -m repro`` exits 1 (not a traceback) on a ReproError."""
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        src = str(Path(__file__).parent.parent / "src")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "join", "/no/such/file.txt",
+             "--tau", "1"],
+            env={"PYTHONPATH": src, "PATH": "/usr/bin:/bin"},
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode == 1
+        assert "error:" in proc.stderr
+        assert "Traceback" not in proc.stderr

@@ -3,16 +3,26 @@
 import pytest
 
 from repro.exceptions import (
+    CheckpointError,
     GraphError,
     GraphFormatError,
+    InjectedFaultError,
     ParameterError,
     ReproError,
+    SearchExhaustedError,
 )
 
 
 class TestHierarchy:
     def test_all_derive_from_repro_error(self):
-        for exc_type in (GraphError, GraphFormatError, ParameterError):
+        for exc_type in (
+            GraphError,
+            GraphFormatError,
+            ParameterError,
+            SearchExhaustedError,
+            CheckpointError,
+            InjectedFaultError,
+        ):
             assert issubclass(exc_type, ReproError)
 
     def test_repro_error_is_exception(self):

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings
 
-from repro.exceptions import GraphFormatError
+from repro.exceptions import GraphFormatError, ParameterError
 from repro.graph import (
     assign_ids,
     dumps_graphs,
@@ -70,6 +70,71 @@ class TestParsing:
     def test_duplicate_edge_rejected(self):
         with pytest.raises(GraphFormatError):
             loads_graphs("t # 0\nv 0 C\nv 1 C\ne 0 1 -\ne 1 0 -\n")
+
+
+CORRUPT = """
+t # 0
+v 0 C
+v zero N
+e 0 1 -
+t # 1
+v 0 N
+t # 2
+v 0 O
+v 0 O
+"""
+
+
+class TestLenientParsing:
+    def test_skip_drops_corrupt_graphs_whole(self):
+        errors = []
+        graphs = loads_graphs(CORRUPT, on_error="skip", errors=errors)
+        # Graph 0 (malformed vertex) and graph 2 (duplicate vertex) are
+        # dropped whole; the clean graph 1 survives intact.
+        assert [g.graph_id for g in graphs] == [1]
+        assert graphs[0].vertex_label(0) == "N"
+        linenos = [lineno for lineno, _ in errors]
+        assert linenos == [4, 10]
+        assert "malformed" in errors[0][1]
+        assert "0" in errors[1][1]  # duplicate-vertex reason names the id
+
+    def test_skip_swallows_rest_of_dropped_graph(self):
+        errors = []
+        # The 'e' after the corrupt 'v' belongs to the dropped graph and
+        # must produce no extra report.
+        graphs = loads_graphs(
+            "t # 0\nv zero C\ne 0 1 -\nt # 1\nv 0 C\n",
+            on_error="skip",
+            errors=errors,
+        )
+        assert [g.graph_id for g in graphs] == [1]
+        assert len(errors) == 1
+
+    def test_skip_reports_records_before_any_graph(self):
+        errors = []
+        graphs = loads_graphs("v 0 C\nt # 0\nv 0 C\n", on_error="skip", errors=errors)
+        assert [g.graph_id for g in graphs] == [0]
+        assert errors == [(1, "'v' before 't'")]
+
+    def test_skip_without_errors_list(self):
+        assert [g.graph_id for g in loads_graphs(CORRUPT, on_error="skip")] == [1]
+
+    def test_skip_on_clean_input_reports_nothing(self):
+        errors = []
+        graphs = loads_graphs(SAMPLE, on_error="skip", errors=errors)
+        assert len(graphs) == 2 and errors == []
+
+    def test_lenient_file_loading(self, tmp_path):
+        path = tmp_path / "corrupt.txt"
+        path.write_text(CORRUPT, encoding="utf-8")
+        errors = []
+        graphs = load_graphs(path, on_error="skip", errors=errors)
+        assert [g.graph_id for g in graphs] == [1]
+        assert len(errors) == 2
+
+    def test_unknown_on_error_rejected(self):
+        with pytest.raises(ParameterError, match="on_error"):
+            loads_graphs(SAMPLE, on_error="ignore")
 
 
 class TestRoundTrip:

@@ -39,7 +39,8 @@ class TestReporting:
     def test_result_dict_structure(self):
         graphs = molecule_collection(8, seed=42)
         data = result_to_dict(gsim_join(graphs, tau=1))
-        assert set(data) == {"pairs", "stats"}
+        assert set(data) == {"pairs", "undecided", "stats"}
+        assert data["undecided"] == []  # no budget, no faults
 
     def test_csv_export(self):
         graphs = molecule_collection(12, seed=43)

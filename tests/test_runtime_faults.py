@@ -1,0 +1,126 @@
+"""Fault-injection tests for the parallel join executor.
+
+Each test arms a deterministic :class:`~repro.runtime.faults.FaultPlan`
+on ``gsim_join_parallel`` and asserts the join survives — producing
+exactly the sequential join's result — after a worker raises, dies like
+an OOM kill, or hangs.  Latched plans fire once globally, so the retry
+of the poisoned chunk succeeds; unlatched plans keep firing, driving
+the chunk into the in-process fallback path.
+"""
+
+import pytest
+
+from repro.core.join import gsim_join
+from repro.core.parallel import gsim_join_parallel
+from repro.exceptions import InjectedFaultError
+from repro.runtime import FaultPlan, VerificationBudget
+
+from .test_join import molecule_collection
+
+TAU = 2
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return molecule_collection(24, seed=17)
+
+
+@pytest.fixture(scope="module")
+def expected(graphs):
+    return gsim_join(graphs, TAU)
+
+
+def assert_matches_sequential(result, expected):
+    """Pairs, undecided channel and deterministic counters all agree."""
+    assert result.pairs == expected.pairs
+    assert result.undecided == expected.undecided
+    for field in ("cand1", "cand2", "results", "ged_calls",
+                  "ged_expansions", "undecided", "pruned_by_count",
+                  "pruned_by_global_label", "pruned_by_local_label"):
+        assert getattr(result.stats, field) == getattr(expected.stats, field)
+
+
+class TestCrashedWorker:
+    def test_raise_fault_retries_to_parity(self, graphs, expected, tmp_path):
+        fault = FaultPlan("raise", at=3, latch_path=str(tmp_path / "latch"))
+        result = gsim_join_parallel(
+            graphs, TAU, workers=2, chunk_size=4,
+            fault=fault, retry_backoff=0.0,
+        )
+        assert_matches_sequential(result, expected)
+        assert result.stats.chunk_retries >= 1
+        assert result.stats.fallback_pairs == 0
+
+    def test_killed_worker_retries_to_parity(self, graphs, expected, tmp_path):
+        """os._exit(1) in a worker (OOM-like) breaks the pool; the join
+        rebuilds it and still matches the sequential result."""
+        fault = FaultPlan("kill", at=2, latch_path=str(tmp_path / "latch"))
+        result = gsim_join_parallel(
+            graphs, TAU, workers=2, chunk_size=4,
+            fault=fault, retry_backoff=0.0,
+        )
+        assert_matches_sequential(result, expected)
+        assert result.stats.chunk_retries >= 1
+
+    def test_unlatched_raise_falls_back_in_process(self, graphs, expected):
+        """A fault that fires on every attempt exhausts max_retries and
+        the poisoned pairs are verified in-process — never lost."""
+        result = gsim_join_parallel(
+            graphs, TAU, workers=2, chunk_size=4,
+            fault=FaultPlan("raise", at=1),
+            max_retries=1, retry_backoff=0.0,
+        )
+        assert_matches_sequential(result, expected)
+        assert result.stats.fallback_pairs > 0
+        assert result.stats.failed_pairs == 0
+        assert result.stats.chunk_retries >= 2
+
+
+class TestHungWorker:
+    def test_hung_worker_times_out_to_parity(self, graphs, expected, tmp_path):
+        fault = FaultPlan(
+            "hang", at=2, hang_seconds=60.0,
+            latch_path=str(tmp_path / "latch"),
+        )
+        result = gsim_join_parallel(
+            graphs, TAU, workers=2, chunk_size=4,
+            fault=fault, chunk_timeout=1.5, retry_backoff=0.0,
+        )
+        assert_matches_sequential(result, expected)
+        assert result.stats.chunk_retries >= 1
+
+
+class TestInProcessSemantics:
+    def test_workers_1_propagates_fault(self, graphs):
+        """The in-process path keeps sequential semantics: no executor,
+        no retry — the injected fault reaches the caller."""
+        with pytest.raises(InjectedFaultError):
+            gsim_join_parallel(
+                graphs, TAU, workers=1, fault=FaultPlan("raise", at=1)
+            )
+
+    def test_workers_1_latched_fault_is_fatal_once(self, graphs, expected, tmp_path):
+        latch = str(tmp_path / "latch")
+        with pytest.raises(InjectedFaultError):
+            gsim_join_parallel(
+                graphs, TAU, workers=1, fault=FaultPlan("raise", at=1, latch_path=latch)
+            )
+        # The latch has fired; the same plan is now inert.
+        result = gsim_join_parallel(
+            graphs, TAU, workers=1,
+            fault=FaultPlan("raise", at=1, latch_path=latch),
+        )
+        assert_matches_sequential(result, expected)
+
+
+class TestFaultFreeParity:
+    def test_budget_threads_through_workers(self, graphs):
+        """Workers apply the budget; parallel undecided == sequential."""
+        budget = VerificationBudget(max_expansions=2)
+        sequential = gsim_join(graphs, TAU, budget=budget)
+        parallel = gsim_join_parallel(
+            graphs, TAU, workers=2, chunk_size=4, budget=budget
+        )
+        assert parallel.pairs == sequential.pairs
+        assert parallel.undecided == sequential.undecided
+        assert parallel.stats.undecided == sequential.stats.undecided
