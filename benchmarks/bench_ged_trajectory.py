@@ -1,0 +1,186 @@
+"""GED-verification perf trajectory — compiled backend vs object A*.
+
+Runs the same workload matrix as ``bench_pipeline_trajectory.py``
+(AIDS-like q=4 and PROTEIN-like q=3; τ ∈ {1..3}; the *full* variant)
+through both GED verification backends — ``verifier="compiled"`` (the
+integer-array A* with per-collection graph compilation,
+:mod:`repro.ged.compiled`) and ``verifier="object"`` (the object-graph
+reference A*) — and records per-cell ``ged_time_s``, expansion counts
+and the compile+cache overhead to ``BENCH_ged.json`` at the repository
+root.  The ``summary`` block reports summed ``ged_time_s`` per backend
+and their ratio; the compiled backend is expected to stay ≥ 2× ahead.
+Per-cell result parity (pairs, cand2, expansions) is asserted in the
+benchmark itself — the speedup is only meaningful if the two backends
+did bit-identical work.
+
+Regenerate standalone (no pytest-benchmark needed)::
+
+    PYTHONPATH=src python benchmarks/bench_ged_trajectory.py
+
+or as part of the benchmark suite (``pytest benchmarks/
+--benchmark-only``), which rewrites the same file.
+"""
+
+import json
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+if __name__ == "__main__":  # `import workloads` without the conftest
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from workloads import (
+    AIDS_N,
+    AIDS_Q,
+    PROT_N,
+    PROT_Q,
+    dataset,
+    format_table,
+    write_series,
+)
+
+from repro import GSimJoinOptions, gsim_join
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_ged.json"
+
+TRAJECTORY_TAUS = (1, 2, 3)
+
+MATRIX = (
+    ("aids", AIDS_Q),
+    ("protein", PROT_Q),
+)
+
+
+def _run_cell(ds: str, q: int, tau: int, verifier: str) -> dict:
+    graphs = list(dataset(ds))
+    options = replace(GSimJoinOptions.full(q=q), verifier=verifier)
+    started = time.perf_counter()
+    result = gsim_join(graphs, tau, options)
+    wall = time.perf_counter() - started
+    st = result.stats
+    return {
+        "dataset": ds,
+        "q": q,
+        "tau": tau,
+        "backend": verifier,
+        "ged_time_s": round(st.ged_time, 4),
+        "compile_time_s": round(st.compile_time, 4),
+        "compiled_graphs": st.compiled_graphs,
+        "verify_time_s": round(st.verify_time, 4),
+        "wall_time_s": round(wall, 4),
+        "ged_calls": st.ged_calls,
+        "ged_expansions": st.ged_expansions,
+        "cand1": st.cand1,
+        "cand2": st.cand2,
+        "results": st.results,
+        "pairs_sha": _pairs_fingerprint(result),
+    }
+
+
+def _pairs_fingerprint(result) -> str:
+    import hashlib
+
+    blob = repr(result.pairs).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def collect() -> dict:
+    cells = []
+    for ds, q in MATRIX:
+        for tau in TRAJECTORY_TAUS:
+            for verifier in ("object", "compiled"):
+                cells.append(_run_cell(ds, q, tau, verifier))
+    ged_time = {"object": 0.0, "compiled": 0.0}
+    for cell in cells:
+        ged_time[cell["backend"]] += cell["ged_time_s"]
+    speedup = (
+        ged_time["object"] / ged_time["compiled"]
+        if ged_time["compiled"]
+        else float("inf")
+    )
+    return {
+        "generated_by": "benchmarks/bench_ged_trajectory.py",
+        "workloads": {
+            "aids": {"n": AIDS_N, "q": AIDS_Q, "seed": 42},
+            "protein": {"n": PROT_N, "q": PROT_Q, "seed": 7},
+        },
+        "taus": list(TRAJECTORY_TAUS),
+        "variant": "full",
+        "cells": cells,
+        "summary": {
+            "ged_object_s": round(ged_time["object"], 4),
+            "ged_compiled_s": round(ged_time["compiled"], 4),
+            "ged_speedup": round(speedup, 2),
+        },
+    }
+
+
+def assert_cell_parity(payload: dict) -> None:
+    """Both backends must have produced bit-identical joins per cell."""
+    by_key = {}
+    for cell in payload["cells"]:
+        by_key.setdefault((cell["dataset"], cell["tau"]), []).append(cell)
+    for (ds, tau), pair in by_key.items():
+        obj, fast = pair
+        assert obj["backend"] == "object" and fast["backend"] == "compiled"
+        for field in (
+            "cand1", "cand2", "results", "ged_calls", "ged_expansions",
+            "pairs_sha",
+        ):
+            assert obj[field] == fast[field], (ds, tau, field)
+
+
+def _table(payload: dict) -> str:
+    rows = []
+    for cell in payload["cells"]:
+        rows.append(
+            [
+                cell["dataset"],
+                cell["tau"],
+                cell["backend"],
+                f"{cell['ged_time_s']:.3f}",
+                f"{cell['compile_time_s']:.3f}",
+                cell["ged_calls"],
+                cell["ged_expansions"],
+                cell["results"],
+            ]
+        )
+    summary = payload["summary"]
+    title = (
+        "GED trajectory (full variant): ged_time "
+        f"{summary['ged_object_s']:.2f}s -> "
+        f"{summary['ged_compiled_s']:.2f}s "
+        f"({summary['ged_speedup']:.2f}x)"
+    )
+    return format_table(
+        title,
+        ["ds", "tau", "backend", "ged", "compile", "calls", "expansions", "results"],
+        rows,
+    )
+
+
+def write_trajectory() -> dict:
+    payload = collect()
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return payload
+
+
+def test_ged_trajectory(benchmark):
+    payload = benchmark.pedantic(write_trajectory, rounds=1, iterations=1)
+    table = _table(payload)
+    write_series("ged_trajectory", table, [])
+    print("\n" + table)
+    assert OUTPUT.exists()
+    assert len(payload["cells"]) == 2 * len(TRAJECTORY_TAUS) * len(MATRIX)
+    assert_cell_parity(payload)
+    # The acceptance bar: the compiled backend at least halves the
+    # summed A* verification time on these workloads.
+    assert payload["summary"]["ged_speedup"] >= 2.0, payload["summary"]
+
+
+if __name__ == "__main__":
+    payload = write_trajectory()
+    assert_cell_parity(payload)
+    print(_table(payload))
+    print(f"\nwrote {OUTPUT}")

@@ -25,6 +25,7 @@ ORDER = (
     + [f"fig7{c}" for c in "abcdefghijklmno"]
     + [
         "pipeline_trajectory",
+        "ged_trajectory",
         "ablation_hash_keys",
         "ablation_minedit_solver",
         "ablation_heuristic_gate",

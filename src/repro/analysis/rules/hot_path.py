@@ -1,8 +1,9 @@
 """Hot-path allocation rule.
 
-``core.join``, ``core.search``, ``ged.astar`` and the interned filter
-kernels ``grams.vocab`` / ``grams.mismatch`` are the per-pair /
-per-state inner loops of the whole system; an accidental
+``core.join``, ``core.search``, ``ged.astar``, the compiled verifier
+``ged.compiled`` and the interned filter kernels ``grams.vocab`` /
+``grams.mismatch`` are the per-pair / per-state inner loops of the
+whole system; an accidental
 ``list(...)``/``dict(...)``/``set(...)`` copy or a repeated
 ``extract_qgrams`` call inside one of their ``for``/``while`` loops
 multiplies by the candidate (or A* state, or merged-id) count.  Copies
@@ -31,6 +32,7 @@ TARGET_MODULES = {
     "repro.core.join",
     "repro.core.search",
     "repro.ged.astar",
+    "repro.ged.compiled",
     "repro.grams.mismatch",
     "repro.grams.vocab",
 }
@@ -47,7 +49,8 @@ class HotPathAllocationRule(Rule):
     id = "hot-path-alloc"
     description = (
         "flag list()/dict() copies and extract_qgrams calls inside loops "
-        "in core.join/core.search/ged.astar/grams.mismatch/grams.vocab"
+        "in core.join/core.search/ged.astar/ged.compiled/"
+        "grams.mismatch/grams.vocab"
     )
 
     def check(self, module: ModuleInfo) -> Iterator[Finding]:

@@ -14,7 +14,10 @@ The repo's layers, lowest first::
 Each package may import only itself and packages reachable below it.
 Notably ``ged`` imports ``grams`` (the shared q-gram/label primitives)
 but never ``core`` — the historical ``core <-> ged`` cycle this rule
-exists to keep dead.  ``runtime`` (verification budgets, journals,
+exists to keep dead.  The compiled verification backend
+(``ged.compiled``) lives inside ``ged`` for exactly this reason: it is
+called from ``core.verify`` but needs only ``graph``/``grams``/
+``runtime``, all reachable from the ``ged`` layer.  ``runtime`` (verification budgets, journals,
 fault plans) sits directly above ``exceptions`` so both ``ged`` and
 ``core`` may depend on it without creating a cycle.  ``repro/__init__.py`` (the facade) and
 ``repro/__main__.py`` are unrestricted; everything else may not import

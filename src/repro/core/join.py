@@ -38,7 +38,8 @@ from repro.core.prefix import PrefixInfo, basic_prefix, minedit_prefix
 from repro.grams.qgrams import QGramProfile, extract_qgrams
 from repro.grams.vocab import QGramVocabulary, build_vocabulary
 from repro.core.result import BoundedPair, JoinResult, JoinStatistics
-from repro.core.verify import VerifyOutcome, verify_pair
+from repro.core.verify import BUDGETED_VERIFIERS, VerifyOutcome, verify_pair
+from repro.ged.compiled import VerificationCache
 from repro.exceptions import ParameterError
 from repro.graph.graph import Graph
 from repro.runtime.budget import VerificationBudget
@@ -77,10 +78,19 @@ class GSimJoinOptions:
         (``interned=False``, retained for the parity property tests);
         only speed differs.
     verifier:
-        Exact GED engine for the surviving candidates: ``"astar"``
-        (the paper's best-first search) or ``"dfs"`` (depth-first
-        branch-and-bound with a bipartite incumbent — an extension;
-        same answers, O(|V|) memory).
+        Exact GED engine for the surviving candidates: ``"compiled"``
+        (the default — the integer-array A* of
+        :mod:`repro.ged.compiled`, with per-collection graph
+        compilation cached across candidate pairs; bit-identical
+        results), ``"object"``/``"astar"`` (the object-graph A*
+        reference implementation, two names for one backend) or
+        ``"dfs"`` (depth-first branch-and-bound with a bipartite
+        incumbent — an extension; same answers, O(|V|) memory).
+    anchor_bound:
+        Enable the compiled backend's optional anchor-aware lower
+        bound: identical pairs and distances, potentially fewer A*
+        expansions (off by default so expansion counts stay comparable
+        with the object backend).  Requires ``verifier="compiled"``.
     """
 
     q: int = 4
@@ -90,7 +100,8 @@ class GSimJoinOptions:
     improved_h: bool = True
     multicover: bool = False
     interned: bool = True
-    verifier: str = "astar"
+    verifier: str = "compiled"
+    anchor_bound: bool = False
 
     @classmethod
     def basic(cls, q: int = 4, interned: bool = True) -> "GSimJoinOptions":
@@ -136,6 +147,10 @@ def _validate(graphs: Sequence[Graph], tau: int, options: GSimJoinOptions) -> No
         raise ParameterError("graph ids must be distinct")
     if len({g.is_directed for g in graphs}) > 1:
         raise ParameterError("cannot mix directed and undirected graphs in a join")
+    if options.anchor_bound and options.verifier != "compiled":
+        raise ParameterError(
+            "anchor_bound requires the 'compiled' verifier"
+        )
 
 
 #: Either global-ordering implementation — both expose ``sort_profile``.
@@ -294,9 +309,10 @@ def gsim_join(
     if options is None:
         options = GSimJoinOptions()
     _validate(graphs, tau, options)
-    if budget is not None and options.verifier != "astar":
+    if budget is not None and options.verifier not in BUDGETED_VERIFIERS:
         raise ParameterError(
-            "budgeted verification requires the 'astar' verifier"
+            "budgeted verification requires an A*-family verifier "
+            "('astar'/'object'/'compiled')"
         )
 
     stats = JoinStatistics(num_graphs=len(graphs), tau=tau, q=options.q)
@@ -310,6 +326,9 @@ def gsim_join(
 
     index = InvertedIndex()
     unprunable: List[int] = []
+    # One compilation cache for the whole join: every graph appears in
+    # many candidate pairs, so each is compiled at most once per run.
+    cache = VerificationCache() if options.verifier == "compiled" else None
     journal = (
         JoinJournal.open(checkpoint, _journal_meta(graphs, tau, options, budget))
         if checkpoint is not None
@@ -368,6 +387,8 @@ def gsim_join(
                         use_multicover=options.multicover,
                         verifier=options.verifier,
                         budget=budget,
+                        cache=cache,
+                        anchor_bound=options.anchor_bound,
                     )
                     if journal is not None:
                         journal.append(_record_of(i, j, outcome))
@@ -403,6 +424,9 @@ def gsim_join(
     stats.index_distinct_keys = index.num_distinct_keys
     stats.index_postings = index.num_postings
     stats.index_bytes = index.size_bytes
+    if cache is not None:
+        stats.compile_time = cache.compile_seconds
+        stats.compiled_graphs = len(cache)
     return result
 
 
@@ -427,9 +451,10 @@ def gsim_join_rs(
         options = GSimJoinOptions()
     _validate(outer, tau, options)
     _validate(inner, tau, options)
-    if budget is not None and options.verifier != "astar":
+    if budget is not None and options.verifier not in BUDGETED_VERIFIERS:
         raise ParameterError(
-            "budgeted verification requires the 'astar' verifier"
+            "budgeted verification requires an A*-family verifier "
+            "('astar'/'object'/'compiled')"
         )
 
     stats = JoinStatistics(
@@ -461,6 +486,7 @@ def gsim_join_rs(
     inner_profiles = profiles_all[n_outer:]
 
     index = InvertedIndex()
+    cache = VerificationCache() if options.verifier == "compiled" else None
     inner_unprunable: List[int] = []
     for j, profile in enumerate(inner_profiles):
         info = prefixes_all[n_outer + j]
@@ -511,6 +537,8 @@ def gsim_join_rs(
                 use_multicover=options.multicover,
                 verifier=options.verifier,
                 budget=budget,
+                cache=cache,
+                anchor_bound=options.anchor_bound,
             )
             if outcome.is_result:
                 result.pairs.append(
@@ -531,4 +559,7 @@ def gsim_join_rs(
     stats.index_distinct_keys = index.num_distinct_keys
     stats.index_postings = index.num_postings
     stats.index_bytes = index.size_bytes
+    if cache is not None:
+        stats.compile_time = cache.compile_seconds
+        stats.compiled_graphs = len(cache)
     return result

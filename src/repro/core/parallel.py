@@ -57,7 +57,8 @@ from repro.core.join import (
 )
 from repro.grams.qgrams import extract_qgrams
 from repro.core.result import BoundedPair, JoinResult, JoinStatistics
-from repro.core.verify import verify_pair
+from repro.core.verify import BUDGETED_VERIFIERS, verify_pair
+from repro.ged.compiled import VerificationCache
 from repro.exceptions import ParameterError, ReproError
 from repro.graph.graph import Graph
 from repro.runtime.budget import VerificationBudget
@@ -96,6 +97,11 @@ def _init_worker(
     _worker["injector"] = fault.start() if fault is not None else None
     _worker["profiles"] = {}
     _worker["labels"] = {}
+    # Each worker compiles the graphs it touches once, however many
+    # candidate pairs they appear in across this worker's chunks.
+    _worker["cache"] = (
+        VerificationCache() if options.verifier == "compiled" else None
+    )
 
 
 def _profile_of(i: int):
@@ -136,6 +142,8 @@ def _verify_chunk(chunk: List[Tuple[int, int]]) -> List[VerificationRecord]:
             use_multicover=options.multicover,
             verifier=options.verifier,
             budget=budget,
+            cache=_worker["cache"],
+            anchor_bound=options.anchor_bound,
         )
         records.append(_record_of(i, j, outcome))
     return records
@@ -261,9 +269,10 @@ def gsim_join_parallel(
             f"retry_backoff must be >= 0, got {retry_backoff}"
         )
     _validate(graphs, tau, options)
-    if budget is not None and options.verifier != "astar":
+    if budget is not None and options.verifier not in BUDGETED_VERIFIERS:
         raise ParameterError(
-            "budgeted verification requires the 'astar' verifier"
+            "budgeted verification requires an A*-family verifier "
+            "('astar'/'object'/'compiled')"
         )
 
     stats = JoinStatistics(num_graphs=len(graphs), tau=tau, q=options.q)
@@ -420,7 +429,7 @@ def _run_chunks(
     chunk_records: Dict[int, List[VerificationRecord]] = {}
     retries = [0] * len(chunks)
     pending = [idx for idx in range(len(chunks))]
-    dfs_fallback = options.verifier != "astar"
+    dfs_fallback = options.verifier not in BUDGETED_VERIFIERS
     while pending:
         executor = ProcessPoolExecutor(
             max_workers=workers,

@@ -60,6 +60,8 @@ class JoinStatistics:
     ged_time: float = 0.0  #: GED A* searches only
     ged_calls: int = 0
     ged_expansions: int = 0
+    compile_time: float = 0.0  #: compiled-verifier graph compilation (⊂ ged_time)
+    compiled_graphs: int = 0  #: distinct graphs compiled by the verifier cache
 
     undecided: int = 0  #: pairs whose budget-bounded verdict spans tau
     replayed_pairs: int = 0  #: pairs skipped on resume via the journal

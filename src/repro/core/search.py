@@ -28,6 +28,7 @@ from repro.grams.qgrams import QGramProfile, extract_qgrams
 from repro.core.result import JoinStatistics
 from repro.core.verify import verify_pair
 from repro.exceptions import ParameterError
+from repro.ged.compiled import VerificationCache
 from repro.graph.graph import Graph
 
 __all__ = ["GSimIndex"]
@@ -68,6 +69,12 @@ class GSimIndex:
         self._ids: set = set()
         self._index = InvertedIndex()
         self._unprunable: List[int] = []
+        # Compiled-verifier cache, living as long as the index: data
+        # graphs are compiled on first query touching them and reused
+        # by every later query (indexed graphs are never mutated).
+        self._cache: Optional[VerificationCache] = (
+            VerificationCache() if self.options.verifier == "compiled" else None
+        )
 
         initial = list(graphs)
         initial_profiles = [extract_qgrams(g, self.options.q) for g in initial]
@@ -185,6 +192,8 @@ class GSimIndex:
                 stats=stats,
                 use_multicover=self.options.multicover,
                 verifier=self.options.verifier,
+                cache=self._cache,
+                anchor_bound=self.options.anchor_bound,
             )
             if outcome.is_result:
                 matches.append((self.graphs[j].graph_id, outcome.ged))

@@ -24,11 +24,15 @@ from repro.grams.qgrams import QGramProfile
 from repro.core.result import JoinStatistics
 from repro.exceptions import ParameterError
 from repro.ged.astar import graph_edit_distance_detailed
+from repro.ged.compiled import VerificationCache, compiled_ged_detailed
 from repro.ged.heuristics import label_heuristic, make_local_label_heuristic
 from repro.ged.vertex_order import input_vertex_order, mismatch_vertex_order
 from repro.runtime.budget import VerificationBudget
 
 __all__ = ["VerifyOutcome", "verify_pair"]
+
+#: Verifiers that support :class:`VerificationBudget` bounded verdicts.
+BUDGETED_VERIFIERS = frozenset({"astar", "object", "compiled"})
 
 LabelPair = Tuple[Counter, Counter]
 
@@ -75,6 +79,8 @@ def verify_pair(
     use_multicover: bool = False,
     verifier: str = "astar",
     budget: Optional[VerificationBudget] = None,
+    cache: Optional[VerificationCache] = None,
+    anchor_bound: bool = False,
 ) -> VerifyOutcome:
     """Run Algorithm 6 on one candidate pair.
 
@@ -87,16 +93,28 @@ def verify_pair(
     ``stats``, when given, accrues the Cand-2 counter, filter prune
     counters, and GED timings.
 
+    ``verifier`` selects the GED backend: ``"compiled"`` (the
+    integer-array A* of :mod:`repro.ged.compiled`, bit-identical to the
+    object backend), ``"astar"``/``"object"`` (the object-graph A* of
+    :mod:`repro.ged.astar`; two names for one backend), or ``"dfs"``.
+    ``cache`` supplies the per-collection :class:`VerificationCache`
+    for the compiled backend (one is created ad hoc when omitted, which
+    forfeits cross-pair compilation reuse).  ``anchor_bound`` enables
+    the compiled backend's optional anchor-aware lower bound — same
+    results, potentially fewer expansions.
+
     ``budget`` caps the A* effort; on exhaustion the outcome is decided
     from the bounded verdict when possible (``upper <= tau`` accepts,
     ``lower > tau`` rejects) and marked ``undecided`` otherwise — never
-    an exception or a hang.  Budgets require the ``"astar"`` verifier.
+    an exception or a hang.  Budgets require an A*-family verifier
+    (``"astar"``/``"object"``/``"compiled"``).
 
     Raises
     ------
     ParameterError
-        On an unknown verifier, or a ``budget`` combined with the
-        ``"dfs"`` verifier (which has no bounded-verdict mode).
+        On an unknown verifier, a ``budget`` combined with the
+        ``"dfs"`` verifier (which has no bounded-verdict mode), or
+        ``anchor_bound`` with a non-compiled verifier.
     """
     r, s = p_r.graph, p_s.graph
 
@@ -153,19 +171,41 @@ def verify_pair(
         if improved_order
         else input_vertex_order(r)
     )
-    heuristic = make_local_label_heuristic(p_r.q, tau) if improved_h else label_heuristic
+    if anchor_bound and verifier != "compiled":
+        raise ParameterError(
+            "anchor_bound requires the 'compiled' verifier"
+        )
     started = time.perf_counter()
     if verifier == "dfs":
         if budget is not None:
             raise ParameterError(
-                "budgeted verification requires the 'astar' verifier"
+                "budgeted verification requires an A*-family verifier "
+                "('astar'/'object'/'compiled')"
             )
         from repro.ged.dfs import dfs_ged
 
+        heuristic = (
+            make_local_label_heuristic(p_r.q, tau) if improved_h else label_heuristic
+        )
         search = dfs_ged(
             r, s, threshold=tau, heuristic=heuristic, vertex_order=order
         )
-    elif verifier == "astar":
+    elif verifier == "compiled":
+        if cache is None:
+            cache = VerificationCache()
+        cr = cache.compile(r)
+        cs = cache.compile(s)
+        index_of = cr.index_of
+        int_order = [index_of[v] for v in order]
+        search = compiled_ged_detailed(
+            cr, cs, threshold=tau, vertex_order=int_order, budget=budget,
+            improved_h=improved_h, q=p_r.q, h_tau=tau,
+            subgraph_cache=cache.subgraph_cache, anchor_bound=anchor_bound,
+        )
+    elif verifier in ("astar", "object"):
+        heuristic = (
+            make_local_label_heuristic(p_r.q, tau) if improved_h else label_heuristic
+        )
         search = graph_edit_distance_detailed(
             r, s, threshold=tau, heuristic=heuristic, vertex_order=order,
             budget=budget,

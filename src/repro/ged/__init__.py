@@ -12,6 +12,13 @@ from repro.ged.astar import (
     graph_edit_distance,
     graph_edit_distance_detailed,
 )
+from repro.ged.compiled import (
+    CompiledGraph,
+    LabelInterner,
+    VerificationCache,
+    compile_graph,
+    compiled_ged_detailed,
+)
 from repro.ged.cost import induced_edit_cost
 from repro.ged.dfs import DfsSearchResult, dfs_ged
 from repro.ged.heuristics import (
@@ -37,6 +44,11 @@ __all__ = [
     "graph_edit_distance_detailed",
     "ged_within",
     "GedSearchResult",
+    "CompiledGraph",
+    "LabelInterner",
+    "VerificationCache",
+    "compile_graph",
+    "compiled_ged_detailed",
     "induced_edit_cost",
     "dfs_ged",
     "DfsSearchResult",

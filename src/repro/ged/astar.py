@@ -202,9 +202,18 @@ def graph_edit_distance_detailed(
             return GedSearchResult(threshold + 1, 0, 0, True)
         return GedSearchResult(distance, 0, 0, False)
 
-    heap: List[Tuple[int, int, int, int, Tuple[Optional[Vertex], ...], frozenset]] = []
+    # Each state carries the *running* completion cost — what
+    # ``_completion_cost(s, used)`` would return — updated in O(deg) as
+    # the mapping extends, so the last level never re-derives it from a
+    # full scan of ``s``.
+    directed = s.is_directed
+    comp0 = s.num_vertices + s.num_edges
+
+    heap: List[
+        Tuple[int, int, int, int, int, Tuple[Optional[Vertex], ...], frozenset]
+    ] = []
     if threshold is None or start_f <= threshold:
-        heapq.heappush(heap, (start_f, -0, next(counter), 0, (), empty_used))
+        heapq.heappush(heap, (start_f, -0, next(counter), 0, comp0, (), empty_used))
         generated += 1
 
     meter = budget.start() if budget is not None else None
@@ -217,7 +226,7 @@ def graph_edit_distance_detailed(
             # >= that f) and greedily completing the best open state
             # yields an achievable mapping (upper bound).
             lower = heap[0][0]
-            _bf, _bk, _bt, bg, bmapping, bused = heap[0]
+            _bf, _bk, _bt, bg, _bc, bmapping, bused = heap[0]
             upper = _greedy_upper_bound(
                 r, s, order, s_vertices, bmapping, bused, bg
             )
@@ -230,7 +239,7 @@ def graph_edit_distance_detailed(
                 lower=lower,
                 upper=upper,
             )
-        f, _neg_k, _tie, g, mapping, used = heapq.heappop(heap)
+        f, _neg_k, _tie, g, comp, mapping, used = heapq.heappop(heap)
         k = len(mapping)
         expanded += 1
         if k == n:
@@ -245,9 +254,23 @@ def graph_edit_distance_detailed(
             if threshold is not None and g2 > threshold:
                 continue
             new_mapping = mapping + (v,)
-            new_used = used | {v} if v is not None else used
+            if v is None:
+                new_used = used
+                comp2 = comp
+            else:
+                new_used = used | {v}
+                # v's own insertion is no longer needed, nor are the
+                # s-edges between v and already-used vertices.
+                comp2 = comp - 1
+                for w in s.neighbors(v):
+                    if w in used:
+                        comp2 -= 1
+                if directed:
+                    for w in s.in_neighbors(v):
+                        if w in used:
+                            comp2 -= 1
             if k + 1 == n:
-                g2 += _completion_cost(s, new_used)
+                g2 += comp2
                 h2 = 0
             else:
                 h2 = heuristic(r, s, order[k + 1 :], s_vertex_set - new_used)
@@ -255,7 +278,7 @@ def graph_edit_distance_detailed(
             if threshold is not None and f2 > threshold:
                 continue
             heapq.heappush(
-                heap, (f2, -(k + 1), next(counter), g2, new_mapping, new_used)
+                heap, (f2, -(k + 1), next(counter), g2, comp2, new_mapping, new_used)
             )
             generated += 1
 

@@ -37,6 +37,8 @@ __all__ = [
     "zero_heuristic",
     "label_heuristic",
     "make_local_label_heuristic",
+    "local_label_terms",
+    "subgraph_entry",
 ]
 
 #: Heuristic signature: (r, s, unmapped r vertices, unused s vertices) -> int.
@@ -76,6 +78,56 @@ def label_heuristic(
     return _remaining_label_bound(r, s, r_rest, s_rest)
 
 
+def subgraph_entry(g: Graph, rest: frozenset, q: int, cache: dict) -> tuple:
+    """Memoized ``(subgraph, q-gram profile, label multisets)`` of a remainder.
+
+    Keyed by ``(id(g), rest)`` so one cache may serve many graphs — the
+    compiled backend shares a single cache across every candidate pair
+    of a join, while :func:`make_local_label_heuristic` keeps a
+    per-pair cache.  Both produce identical values: the entry is a pure
+    function of the induced subgraph.
+    """
+    key = (id(g), rest)
+    entry = cache.get(key)
+    if entry is None:
+        sub = g.subgraph(rest)
+        profile = extract_qgrams(sub, q)
+        labels = (sub.vertex_label_multiset(), sub.edge_label_multiset())
+        entry = (sub, profile, labels)
+        cache[key] = entry
+    return entry
+
+
+def local_label_terms(
+    r: Graph,
+    s: Graph,
+    r_rest: frozenset,
+    s_rest: frozenset,
+    q: int,
+    tau: int,
+    cache: dict,
+) -> int:
+    """``max(ε₄, ε₅)`` — Algorithm 8's local-label term on the remainders.
+
+    Both-direction local label filtering bounds evaluated on the
+    *induced* remaining subgraphs (see the module docstring for the
+    admissibility argument).  ``cache`` memoizes subgraph extraction via
+    :func:`subgraph_entry`; the comparison itself runs per call.
+    """
+    r_sub, p_r, r_labels = subgraph_entry(r, r_rest, q, cache)
+    s_sub, p_s, s_labels = subgraph_entry(s, s_rest, q, cache)
+    mismatch = compare_qgrams(p_r, p_s)
+    eps2 = local_label_lower_bound(
+        mismatch.mismatch_r, r_sub, s_sub, tau,
+        other_labels=s_labels, required_keys=mismatch.absent_keys_r,
+    )
+    eps3 = local_label_lower_bound(
+        mismatch.mismatch_s, s_sub, r_sub, tau,
+        other_labels=r_labels, required_keys=mismatch.absent_keys_s,
+    )
+    return max(eps2, eps3)
+
+
 def make_local_label_heuristic(
     q: int, tau: int, max_remaining: Optional[int] = 8
 ) -> Heuristic:
@@ -103,17 +155,6 @@ def make_local_label_heuristic(
 
     profile_cache: dict = {}
 
-    def _profile(g: Graph, rest: frozenset):
-        key = (id(g), rest)
-        entry = profile_cache.get(key)
-        if entry is None:
-            sub = g.subgraph(rest)
-            profile = extract_qgrams(sub, q)
-            labels = (sub.vertex_label_multiset(), sub.edge_label_multiset())
-            entry = (sub, profile, labels)
-            profile_cache[key] = entry
-        return entry
-
     def improved_h(
         r: Graph, s: Graph, r_rest: Sequence[Vertex], s_rest: AbstractSet[Vertex]
     ) -> int:
@@ -124,17 +165,9 @@ def make_local_label_heuristic(
             len(r_rest) > max_remaining or len(s_rest) > max_remaining
         ):
             return eps1
-        r_sub, p_r, r_labels = _profile(r, frozenset(r_rest))
-        s_sub, p_s, s_labels = _profile(s, frozenset(s_rest))
-        mismatch = compare_qgrams(p_r, p_s)
-        eps2 = local_label_lower_bound(
-            mismatch.mismatch_r, r_sub, s_sub, tau,
-            other_labels=s_labels, required_keys=mismatch.absent_keys_r,
+        extra = local_label_terms(
+            r, s, frozenset(r_rest), frozenset(s_rest), q, tau, profile_cache
         )
-        eps3 = local_label_lower_bound(
-            mismatch.mismatch_s, s_sub, r_sub, tau,
-            other_labels=r_labels, required_keys=mismatch.absent_keys_s,
-        )
-        return max(eps1, eps2, eps3)
+        return max(eps1, extra)
 
     return improved_h

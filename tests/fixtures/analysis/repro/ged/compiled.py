@@ -1,0 +1,12 @@
+"""Fixture: hot-path allocations inside the compiled A* inner loops."""
+
+
+def expand(heap, cs, used, mapping):
+    while heap:
+        remainder = frozenset(cs)
+        state = tuple(mapping)
+        for v in cs:
+            snapshot = list(used)
+            image_map = dict(used)
+            scratch = list(used)  # repro: ignore[hot-path-alloc]
+    return heap

@@ -73,6 +73,14 @@ def test_layering_closure_matches_issue_dag():
     assert "ged" in allowed_layers("core")
     assert "grams" in allowed_layers("ged")
     assert {"exceptions", "graph", "setcover"} <= allowed_layers("grams")
+
+
+def test_compiled_module_clean_under_all_rules():
+    """The real compiled backend passes every rule, layering included
+    (it lives in the ``ged`` layer, whose closure covers its imports)."""
+    path = SRC_REPRO / "ged" / "compiled.py"
+    assert module_name(path) == "repro.ged.compiled"
+    assert [f for f in run_analysis([path], all_rules())] == []
     assert "core" in allowed_layers("cli")
     # The runtime layer sits just above exceptions; ged and core may use
     # it, but it may never reach back up into either.
@@ -126,6 +134,20 @@ def test_hot_path_covers_interned_kernels():
     # 7-9: copies in the for loop; 11: extract_qgrams in the while loop;
     # 12 carries # repro: ignore[hot-path-alloc] and is suppressed.
     assert lines_for("hot-path-alloc", path) == [7, 8, 9, 11]
+
+
+def test_hot_path_covers_compiled_verifier():
+    """The rule extends to the compiled GED backend (ged.compiled)."""
+    path = FIXTURES / "repro" / "ged" / "compiled.py"
+    # 6-7: copies in the while loop; 9-10: copies in the nested for
+    # loop; 11 carries # repro: ignore[hot-path-alloc], suppressed.
+    assert lines_for("hot-path-alloc", path) == [6, 7, 9, 10]
+
+
+def test_hot_path_rule_targets_compiled_module():
+    from repro.analysis.rules.hot_path import TARGET_MODULES
+
+    assert "repro.ged.compiled" in TARGET_MODULES
 
 
 # ----------------------------------------------------------- float equality

@@ -1,0 +1,33 @@
+"""Repository hygiene: no compiled bytecode may ever be tracked.
+
+Mirrors the CI "No tracked bytecode" step so the guard also runs in the
+tier-1 suite (skipped outside a git checkout, e.g. from an sdist).
+"""
+
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_no_tracked_bytecode():
+    if not (REPO_ROOT / ".git").exists() or shutil.which("git") is None:
+        pytest.skip("not a git checkout")
+    listing = subprocess.run(
+        ["git", "ls-files", "--", "*.pyc", "*.pyo", "*__pycache__*"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    tracked = [line for line in listing.stdout.splitlines() if line]
+    assert tracked == [], f"tracked bytecode files: {tracked}"
+
+
+def test_gitignore_excludes_bytecode():
+    patterns = (REPO_ROOT / ".gitignore").read_text().splitlines()
+    assert "__pycache__/" in patterns
+    assert "*.pyc" in patterns
