@@ -12,7 +12,7 @@ import time
 from workloads import PROT_Q, dataset, format_table, write_series
 
 from repro.core import build_ordering, extract_qgrams, min_prefix_length
-from repro.core.minedit import min_edit_exact
+from repro.grams.minedit import min_edit_exact
 
 
 def exact_only_prefix(sorted_grams, tau, d_path):

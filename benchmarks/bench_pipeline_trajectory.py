@@ -4,11 +4,16 @@ Runs a fixed workload matrix (AIDS-like q=4 and PROTEIN-like q=3, the
 Fig. 6(f)/7(i)(j) datasets; τ ∈ {1..3}; the *full* variant) through both
 pipelines — ``interned=True`` (integer signatures, merge filters, direct
 Algorithm 4) and ``interned=False`` (the retained object-key reference
-path) — and records per-phase timings and candidate counts to
+path) — and records per-phase timings, candidate counts and the
+engine's per-stage survivor trajectory (``stats.stages``) to
 ``BENCH_pipeline.json`` at the repository root.  The ``summary`` block
 reports the summed non-GED time (index + candidate generation + filter
 cascade, i.e. everything except ``ged_time``) for each pipeline and
 their ratio; the interned pipeline is expected to stay ≥ 2× ahead.
+When a previous ``BENCH_pipeline.json`` exists, the run also asserts
+the new end-to-end wall time stays within noise
+(``NOISE_FACTOR``×) of that baseline — a coarse regression gate on the
+whole pipeline.
 
 Regenerate standalone (no pytest-benchmark needed)::
 
@@ -43,6 +48,11 @@ OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
 
 TRAJECTORY_TAUS = (1, 2, 3)
 
+#: Accepted end-to-end slowdown vs the committed baseline.  Generous on
+#: purpose: the gate must catch structural regressions (a filter
+#: re-running, a copy in the candidate loop), not scheduler jitter.
+NOISE_FACTOR = 1.6
+
 MATRIX = (
     ("aids", AIDS_Q),
     ("protein", PROT_Q),
@@ -73,6 +83,10 @@ def _run_cell(ds: str, q: int, tau: int, interned: bool) -> dict:
         "results": st.results,
         "total_prefix_length": st.total_prefix_length,
         "index_bytes": st.index_bytes,
+        "stages": [
+            {"name": row.name, "input": row.input, "survivors": row.survivors}
+            for row in st.stages
+        ],
     }
 
 
@@ -103,8 +117,31 @@ def collect() -> dict:
             "non_ged_reference_s": round(non_ged["reference"], 4),
             "non_ged_interned_s": round(non_ged["interned"], 4),
             "non_ged_speedup": round(speedup, 2),
+            "end_to_end_wall_s": round(
+                sum(cell["wall_time_s"] for cell in cells), 4
+            ),
         },
     }
+
+
+def load_baseline() -> dict:
+    """The committed ``BENCH_pipeline.json``, or ``{}`` if absent/unreadable."""
+    try:
+        return json.loads(OUTPUT.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+
+
+def baseline_wall_s(baseline: dict) -> float:
+    """End-to-end wall seconds of a baseline payload (0.0 if unknown)."""
+    if not baseline:
+        return 0.0
+    summary = baseline.get("summary", {})
+    if "end_to_end_wall_s" in summary:
+        return float(summary["end_to_end_wall_s"])
+    return float(
+        sum(cell.get("wall_time_s", 0.0) for cell in baseline.get("cells", ()))
+    )
 
 
 def _table(payload: dict) -> str:
@@ -144,21 +181,36 @@ def write_trajectory() -> dict:
 
 
 def test_pipeline_trajectory(benchmark):
+    prior_wall = baseline_wall_s(load_baseline())
     payload = benchmark.pedantic(write_trajectory, rounds=1, iterations=1)
     table = _table(payload)
     write_series("pipeline_trajectory", table, [])
     print("\n" + table)
     assert OUTPUT.exists()
     assert len(payload["cells"]) == 2 * len(TRAJECTORY_TAUS) * len(MATRIX)
-    # Both pipelines are exact: identical candidates and results per cell.
+    # Both pipelines are exact: identical candidates, results and
+    # per-stage survivor trajectories per cell.
     by_key = {}
     for cell in payload["cells"]:
         key = (cell["dataset"], cell["tau"])
         by_key.setdefault(key, []).append(cell)
     for (ds, tau), pair in by_key.items():
         ref, fast = pair
-        for field in ("cand1", "cand2", "results", "total_prefix_length"):
+        for field in ("cand1", "cand2", "results", "total_prefix_length",
+                      "stages"):
             assert ref[field] == fast[field], (ds, tau, field)
+        verify_row = fast["stages"][-1]
+        assert verify_row["name"] == "verify"
+        assert verify_row["input"] == fast["cand2"]
+        assert verify_row["survivors"] == fast["results"]
+    # Coarse perf gate: no end-to-end slowdown beyond noise vs the
+    # previously committed baseline.
+    if prior_wall > 0.0:
+        new_wall = payload["summary"]["end_to_end_wall_s"]
+        assert new_wall <= prior_wall * NOISE_FACTOR, (
+            f"pipeline slowed down: {new_wall:.2f}s vs baseline "
+            f"{prior_wall:.2f}s (allowed {NOISE_FACTOR}x)"
+        )
 
 
 if __name__ == "__main__":

@@ -15,9 +15,11 @@ Quickstart::
 
 Package map:
 
-* :mod:`repro.core` — path-based q-grams, the filter cascade
-  (count / prefix / minimum edit / label filtering) and the GSimJoin
-  algorithm itself;
+* :mod:`repro.core` — the public join/search API: ``gsim_join`` and
+  friends, plus re-exports of the filter primitives;
+* :mod:`repro.engine` — the staged execution engine underneath it:
+  explicit join plans of first-class stages, one executor for all four
+  entry points, per-stage statistics (``docs/ARCHITECTURE.md``);
 * :mod:`repro.graph` — the labeled-graph substrate (type, IO,
   generators, edit operations, isomorphism);
 * :mod:`repro.ged` — exact graph edit distance via A* with the paper's
@@ -39,6 +41,7 @@ from repro.core import (
     GSimJoinOptions,
     JoinResult,
     JoinStatistics,
+    StageStatistics,
     extract_qgrams,
     gsim_join,
     gsim_join_parallel,
@@ -79,6 +82,7 @@ __all__ = [
     "GSimJoinOptions",
     "JoinResult",
     "JoinStatistics",
+    "StageStatistics",
     "BoundedPair",
     "VerificationBudget",
     "FaultPlan",

@@ -1,7 +1,8 @@
 """Annotation coverage rule for the public filter/verification API.
 
-``repro.core``, ``repro.ged`` and ``repro.grams`` are the layers other
-code builds on; their public functions and methods must carry complete
+``repro.core``, ``repro.engine``, ``repro.ged`` and ``repro.grams``
+are the layers other code builds on; their public functions and
+methods must carry complete
 type annotations (every parameter and the return type) so ``mypy`` can
 actually check call sites — an unannotated def is invisible to it.
 Private helpers (leading underscore) and dunder methods other than
@@ -19,7 +20,7 @@ from repro.analysis.registry import Rule, register
 
 __all__ = ["AnnotationCoverageRule"]
 
-TARGET_PREFIXES = ("repro.core", "repro.ged", "repro.grams")
+TARGET_PREFIXES = ("repro.core", "repro.engine", "repro.ged", "repro.grams")
 
 
 def _public_functions(
@@ -45,8 +46,8 @@ class AnnotationCoverageRule(Rule):
 
     id = "annotations"
     description = (
-        "public functions in repro.core/repro.ged/repro.grams need full "
-        "parameter and return annotations"
+        "public functions in repro.core/repro.engine/repro.ged/repro.grams "
+        "need full parameter and return annotations"
     )
 
     def check(self, module: ModuleInfo) -> Iterator[Finding]:

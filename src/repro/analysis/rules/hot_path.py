@@ -1,9 +1,10 @@
 """Hot-path allocation rule.
 
-``core.join``, ``core.search``, ``ged.astar``, the compiled verifier
-``ged.compiled`` and the interned filter kernels ``grams.vocab`` /
-``grams.mismatch`` are the per-pair / per-state inner loops of the
-whole system; an accidental
+The engine's driver loops (``engine.executor``, ``engine.stages``) and
+their thin ``core`` wrappers (``core.join``, ``core.search``),
+``ged.astar``, the compiled verifier ``ged.compiled`` and the interned
+filter kernels ``grams.vocab`` / ``grams.mismatch`` are the per-pair /
+per-state inner loops of the whole system; an accidental
 ``list(...)``/``dict(...)``/``set(...)`` copy or a repeated
 ``extract_qgrams`` call inside one of their ``for``/``while`` loops
 multiplies by the candidate (or A* state, or merged-id) count.  Copies
@@ -31,6 +32,8 @@ __all__ = ["HotPathAllocationRule"]
 TARGET_MODULES = {
     "repro.core.join",
     "repro.core.search",
+    "repro.engine.executor",
+    "repro.engine.stages",
     "repro.ged.astar",
     "repro.ged.compiled",
     "repro.grams.mismatch",

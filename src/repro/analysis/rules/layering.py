@@ -7,6 +7,7 @@ The repo's layers, lowest first::
     strings   setcover
     matching  datasets  grams
     ged
+    engine
     core
     reporting  baselines  applications
     cli
@@ -16,10 +17,13 @@ Notably ``ged`` imports ``grams`` (the shared q-gram/label primitives)
 but never ``core`` — the historical ``core <-> ged`` cycle this rule
 exists to keep dead.  The compiled verification backend
 (``ged.compiled``) lives inside ``ged`` for exactly this reason: it is
-called from ``core.verify`` but needs only ``graph``/``grams``/
+called from the verification stage but needs only ``graph``/``grams``/
 ``runtime``, all reachable from the ``ged`` layer.  ``runtime`` (verification budgets, journals,
 fault plans) sits directly above ``exceptions`` so both ``ged`` and
-``core`` may depend on it without creating a cycle.  ``repro/__init__.py`` (the facade) and
+the engine may depend on it without creating a cycle.  ``engine`` (the
+staged execution engine: plans, stages, executor) sits between ``ged``
+and ``core``: it owns the pipeline machinery, while ``core`` is the
+thin public API layer wrapping it.  ``repro/__init__.py`` (the facade) and
 ``repro/__main__.py`` are unrestricted; everything else may not import
 the facade.  A package missing from the table is flagged so the DAG
 must be extended deliberately.
@@ -49,7 +53,8 @@ DIRECT_DEPS: Dict[str, Set[str]] = {
     "datasets": {"graph"},
     "grams": {"graph", "setcover"},
     "ged": {"grams", "matching", "strings", "runtime"},
-    "core": {"ged", "runtime"},
+    "engine": {"ged", "runtime"},
+    "core": {"engine"},
     "reporting": {"core"},
     "baselines": {"core"},
     "applications": {"core"},

@@ -42,6 +42,8 @@ TARGET_MODULES = {
     "repro.core.prefix",
     "repro.core.mismatch",
     "repro.core.minedit",
+    "repro.engine.count_filter",
+    "repro.engine.prefix",
 }
 TARGET_PREFIXES = ("repro.grams.",)
 

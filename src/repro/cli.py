@@ -86,6 +86,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="chunk re-dispatches before in-process fallback (workers > 1)",
     )
+    join.add_argument(
+        "--explain-plan",
+        action="store_true",
+        help="print the staged execution plan and the per-stage "
+        "survivor/timing table (gsimjoin only)",
+    )
     join.add_argument("--quiet", action="store_true", help="print only the pairs")
     join.add_argument(
         "--json",
@@ -139,13 +145,17 @@ def _cmd_join(args) -> int:
     if args.budget_expansions is not None or args.budget_seconds is not None:
         budget = VerificationBudget(args.budget_expansions, args.budget_seconds)
     if args.algorithm != "gsimjoin" and (
-        budget is not None or args.checkpoint is not None
+        budget is not None or args.checkpoint is not None or args.explain_plan
     ):
         raise ReproError(
-            "--budget-*/--checkpoint require --algorithm gsimjoin"
+            "--budget-*/--checkpoint/--explain-plan require --algorithm gsimjoin"
         )
     if args.algorithm == "gsimjoin":
         options = getattr(GSimJoinOptions, args.variant)(q=args.q)
+        if args.explain_plan:
+            from repro.engine.plan import build_plan
+
+            print(build_plan(options).describe(), file=sys.stderr)
         if args.workers > 1:
             from repro.core.parallel import gsim_join_parallel
 
@@ -178,6 +188,8 @@ def _cmd_join(args) -> int:
         from repro.reporting import save_result_json
 
         save_result_json(result, args.json_path)
+    if getattr(args, "explain_plan", False):
+        print(result.stats.stage_table(), file=sys.stderr)
     if not args.quiet:
         print(result.stats.summary(), file=sys.stderr)
     return 0

@@ -23,7 +23,12 @@ from repro.grams.vocab import QGramVocabulary, build_vocabulary
 from repro.core.parallel import gsim_join_parallel
 from repro.core.prefix import PrefixInfo, basic_prefix, minedit_prefix
 from repro.grams.qgrams import QGram, QGramProfile, extract_qgrams, qgram_key
-from repro.core.result import BoundedPair, JoinResult, JoinStatistics
+from repro.core.result import (
+    BoundedPair,
+    JoinResult,
+    JoinStatistics,
+    StageStatistics,
+)
 from repro.core.search import GSimIndex
 from repro.core.verify import VerifyOutcome, verify_pair
 
@@ -36,6 +41,7 @@ __all__ = [
     "BoundedPair",
     "JoinResult",
     "JoinStatistics",
+    "StageStatistics",
     "QGram",
     "QGramProfile",
     "extract_qgrams",

@@ -1,20 +1,20 @@
-"""Count filtering on path-based q-grams (Theorem 1 / Lemma 1).
+"""Backwards-compatible re-export; the code moved to
+:mod:`repro.engine.count_filter`.
 
-An edit operation on ``r`` affects at most ``D_path(r) = max_u |Q_u^r|``
-q-grams, so two graphs within edit distance ``τ`` must share at least
-
-    ``LB_path = max(|Q_r| − τ·D_path(r), |Q_s| − τ·D_path(s))``
-
-q-grams (as a multiset intersection).  When ``LB_path <= 0`` the filter
-is vacuous — the paper's *underflowing* — and the pair must be treated as
-a candidate regardless of overlap.
+The size and count filters are stages of the staged execution engine
+(``repro.engine``); ``repro.core`` re-exports them so the public import
+surface is unchanged.
 """
 
 from __future__ import annotations
 
-from repro.grams.qgrams import QGramProfile
-from repro.exceptions import ParameterError
-from repro.graph.graph import Graph
+from repro.engine.count_filter import (
+    common_qgram_count,
+    count_lower_bound,
+    passes_count_filter,
+    passes_size_filter,
+    size_lower_bound,
+)
 
 __all__ = [
     "common_qgram_count",
@@ -23,45 +23,3 @@ __all__ = [
     "size_lower_bound",
     "passes_size_filter",
 ]
-
-
-def common_qgram_count(p: QGramProfile, p2: QGramProfile) -> int:
-    """``|Q_r ∩ Q_s|`` — multiset intersection size of the key multisets."""
-    a, b = p.key_counts, p2.key_counts
-    if len(b) < len(a):
-        a, b = b, a
-    return sum(min(count, b[key]) for key, count in a.items() if key in b)
-
-
-def count_lower_bound(p: QGramProfile, p2: QGramProfile, tau: int) -> int:
-    """``LB_path`` of Lemma 1 (may be zero or negative: underflow)."""
-    if tau < 0:
-        raise ParameterError(f"tau must be >= 0, got {tau}")
-    return max(p.count_lower_bound(tau), p2.count_lower_bound(tau))
-
-
-def passes_count_filter(p: QGramProfile, p2: QGramProfile, tau: int) -> bool:
-    """True iff the pair survives count filtering (Lemma 1).
-
-    A vacuous bound (``LB_path <= 0``) always passes: count filtering can
-    then prune nothing and the pair must go to the next filter.
-    """
-    bound = count_lower_bound(p, p2, tau)
-    if bound <= 0:
-        return True
-    return common_qgram_count(p, p2) >= bound
-
-
-def size_lower_bound(r: Graph, s: Graph) -> int:
-    """``||V(r)|−|V(s)|| + ||E(r)|−|E(s)||`` — a trivial GED lower bound.
-
-    Every vertex insertion/deletion changes ``|V|`` by one and every edge
-    insertion/deletion changes ``|E|`` by one, while relabelings change
-    neither, so GED is at least this sum (Algorithm 1, line 9).
-    """
-    return abs(r.num_vertices - s.num_vertices) + abs(r.num_edges - s.num_edges)
-
-
-def passes_size_filter(r: Graph, s: Graph, tau: int) -> bool:
-    """True iff the pair survives size filtering."""
-    return size_lower_bound(r, s) <= tau

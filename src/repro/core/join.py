@@ -20,254 +20,28 @@ Graphs whose whole q-gram multiset can be affected by ``τ`` edits
 q-grams) cannot be pruned by any prefix argument; they are kept on an
 *unprunable* list and paired with every graph, which keeps the join
 exact on heterogeneous collections.
+
+Both joins are thin wrappers over the staged execution engine
+(:mod:`repro.engine`): ``build_plan(options)`` assembles the stage
+list, one :class:`repro.engine.executor.Executor` drives it, and every
+stage reports survivor counts and wall time into
+``result.stats.stages`` (see ``docs/ARCHITECTURE.md`` and the CLI's
+``--explain-plan``).
 """
 
 from __future__ import annotations
 
-import dataclasses
-import hashlib
 import os
-import time
-from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Optional, Sequence, Union
 
-from repro.core.count_filter import passes_size_filter
-from repro.core.inverted_index import InvertedIndex
-from repro.core.ordering import QGramOrdering, build_ordering
-from repro.core.prefix import PrefixInfo, basic_prefix, minedit_prefix
-from repro.grams.qgrams import QGramProfile, extract_qgrams
-from repro.grams.vocab import QGramVocabulary, build_vocabulary
-from repro.core.result import BoundedPair, JoinResult, JoinStatistics
-from repro.core.verify import BUDGETED_VERIFIERS, VerifyOutcome, verify_pair
-from repro.ged.compiled import VerificationCache
-from repro.exceptions import ParameterError
+from repro.engine.executor import execute_rs_join, execute_self_join
+from repro.engine.options import GSimJoinOptions, Sorter
+from repro.engine.result import JoinResult
 from repro.graph.graph import Graph
 from repro.runtime.budget import VerificationBudget
 from repro.runtime.faults import FaultPlan
-from repro.runtime.journal import JoinJournal, VerificationRecord
 
 __all__ = ["GSimJoinOptions", "gsim_join", "gsim_join_rs"]
-
-
-@dataclass(frozen=True)
-class GSimJoinOptions:
-    """Configuration of a GSimJoin run.
-
-    Attributes
-    ----------
-    q:
-        Path q-gram length (the paper uses 4 on AIDS, 3 on PROTEIN).
-    minedit_prefix:
-        Shrink prefixes with minimum edit filtering (Algorithm 4).
-    local_label:
-        Apply local label filtering during verification (Algorithm 5).
-    improved_order:
-        Map mismatching-q-gram vertices first in A* (Algorithm 7).
-    improved_h:
-        Use the local-label-enhanced heuristic in A* (Algorithm 8).
-    multicover:
-        Additionally apply the set-multicover minimum-edit bound over
-        partially matched surplus keys — a sound extension beyond the
-        paper (off in the paper-faithful variants).
-    interned:
-        Run the pipeline on interned integer q-gram signatures — the
-        global ordering becomes a pure integer sort, the inverted index
-        is keyed by small ints, and ``CompareQGrams`` is a linear merge
-        over sorted id arrays (see :mod:`repro.grams.vocab`).  Results
-        are bit-identical to the object-key reference path
-        (``interned=False``, retained for the parity property tests);
-        only speed differs.
-    verifier:
-        Exact GED engine for the surviving candidates: ``"compiled"``
-        (the default — the integer-array A* of
-        :mod:`repro.ged.compiled`, with per-collection graph
-        compilation cached across candidate pairs; bit-identical
-        results), ``"object"``/``"astar"`` (the object-graph A*
-        reference implementation, two names for one backend) or
-        ``"dfs"`` (depth-first branch-and-bound with a bipartite
-        incumbent — an extension; same answers, O(|V|) memory).
-    anchor_bound:
-        Enable the compiled backend's optional anchor-aware lower
-        bound: identical pairs and distances, potentially fewer A*
-        expansions (off by default so expansion counts stay comparable
-        with the object backend).  Requires ``verifier="compiled"``.
-    """
-
-    q: int = 4
-    minedit_prefix: bool = True
-    local_label: bool = True
-    improved_order: bool = True
-    improved_h: bool = True
-    multicover: bool = False
-    interned: bool = True
-    verifier: str = "compiled"
-    anchor_bound: bool = False
-
-    @classmethod
-    def basic(cls, q: int = 4, interned: bool = True) -> "GSimJoinOptions":
-        """The paper's *Basic GSimJoin* configuration."""
-        return cls(q=q, minedit_prefix=False, local_label=False,
-                   improved_order=False, improved_h=False, interned=interned)
-
-    @classmethod
-    def minedit(cls, q: int = 4, interned: bool = True) -> "GSimJoinOptions":
-        """The paper's *+ MinEdit* configuration."""
-        return cls(q=q, minedit_prefix=True, local_label=False,
-                   improved_order=True, improved_h=False, interned=interned)
-
-    @classmethod
-    def full(cls, q: int = 4, interned: bool = True) -> "GSimJoinOptions":
-        """The paper's *+ Local Label* (complete GSimJoin) configuration."""
-        return cls(q=q, minedit_prefix=True, local_label=True,
-                   improved_order=True, improved_h=True, interned=interned)
-
-    @classmethod
-    def extended(cls, q: int = 4, interned: bool = True) -> "GSimJoinOptions":
-        """``full()`` plus this library's multicover filter extension."""
-        return cls(q=q, minedit_prefix=True, local_label=True,
-                   improved_order=True, improved_h=True, multicover=True,
-                   interned=interned)
-
-    def with_q(self, q: int) -> "GSimJoinOptions":
-        """This configuration with a different q-gram length."""
-        return replace(self, q=q)
-
-
-def _validate(graphs: Sequence[Graph], tau: int, options: GSimJoinOptions) -> None:
-    if tau < 0:
-        raise ParameterError(f"tau must be >= 0, got {tau}")
-    if options.q < 0:
-        raise ParameterError(f"q must be >= 0, got {options.q}")
-    ids = [g.graph_id for g in graphs]
-    if any(gid is None for gid in ids):
-        raise ParameterError(
-            "all graphs need ids; use repro.graph.assign_ids(graphs) first"
-        )
-    if len(set(ids)) != len(ids):
-        raise ParameterError("graph ids must be distinct")
-    if len({g.is_directed for g in graphs}) > 1:
-        raise ParameterError("cannot mix directed and undirected graphs in a join")
-    if options.anchor_bound and options.verifier != "compiled":
-        raise ParameterError(
-            "anchor_bound requires the 'compiled' verifier"
-        )
-
-
-#: Either global-ordering implementation — both expose ``sort_profile``.
-Sorter = Union[QGramVocabulary, QGramOrdering]
-
-
-def _build_sorter(
-    profiles: Sequence[QGramProfile], options: GSimJoinOptions
-) -> Sorter:
-    """The configured global-ordering implementation over ``profiles``."""
-    if options.interned:
-        return build_vocabulary(profiles)
-    return build_ordering(profiles)
-
-
-#: Which JoinStatistics counter each filter's ``pruned_by`` tag feeds
-#: (``multicover`` shares the local-label counter, as in verify_pair).
-_PRUNE_COUNTERS: Dict[str, str] = {
-    "global_label": "pruned_by_global_label",
-    "count": "pruned_by_count",
-    "local_label": "pruned_by_local_label",
-    "multicover": "pruned_by_local_label",
-}
-
-
-def _journal_meta(
-    graphs: Sequence[Graph],
-    tau: int,
-    options: GSimJoinOptions,
-    budget: Optional[VerificationBudget],
-) -> dict:
-    """The journal header identifying one join run.
-
-    A resumed join must re-derive exactly the same meta, so it contains
-    only deterministic inputs: a collection fingerprint (id sequence
-    plus per-graph sizes and vertex labels — enough to catch a swapped
-    collection whose ids happen to coincide), ``tau``, the full
-    options, and the budget.
-    """
-    ids_blob = repr(
-        [
-            (
-                g.graph_id,
-                g.num_vertices,
-                g.num_edges,
-                sorted(g.vertex_label_multiset().items()),
-            )
-            for g in graphs
-        ]
-    ).encode("utf-8")
-    return {
-        "kind": "self-join",
-        "n": len(graphs),
-        "tau": tau,
-        "ids_sha": hashlib.sha256(ids_blob).hexdigest()[:16],
-        "options": dataclasses.asdict(options),
-        "budget": (
-            None
-            if budget is None
-            else [budget.max_expansions, budget.max_seconds]
-        ),
-    }
-
-
-def _record_of(i: int, j: int, outcome: VerifyOutcome) -> VerificationRecord:
-    """Freeze one verification outcome into a journal record."""
-    return VerificationRecord(
-        i=i,
-        j=j,
-        is_result=outcome.is_result,
-        pruned_by=outcome.pruned_by,
-        ged=outcome.ged,
-        expansions=outcome.expansions,
-        ged_seconds=outcome.ged_seconds,
-        undecided=outcome.undecided,
-        lower=outcome.lower,
-        upper=outcome.upper,
-    )
-
-
-def _replay_record(stats: JoinStatistics, rec: VerificationRecord) -> None:
-    """Apply a journaled outcome's statistics exactly as verify_pair would."""
-    counter = _PRUNE_COUNTERS.get(rec.pruned_by or "")
-    if counter is not None:
-        setattr(stats, counter, getattr(stats, counter) + 1)
-    if rec.ran_ged:
-        stats.cand2 += 1
-        stats.ged_calls += 1
-        stats.ged_expansions += rec.expansions
-        stats.ged_time += rec.ged_seconds
-    if rec.undecided:
-        stats.undecided += 1
-    stats.replayed_pairs += 1
-
-
-def _prepare_profiles(
-    graphs: Sequence[Graph], tau: int, options: GSimJoinOptions, stats: JoinStatistics
-) -> Tuple[List[QGramProfile], List[PrefixInfo], List[Tuple], Sorter]:
-    """Extract q-grams, build the global ordering, sort, compute prefixes."""
-    profiles = [extract_qgrams(g, options.q) for g in graphs]
-    sorter = _build_sorter(profiles, options)
-    prefixes: List[PrefixInfo] = []
-    for profile in profiles:
-        sorter.sort_profile(profile)
-        info = (
-            minedit_prefix(profile, tau)
-            if options.minedit_prefix
-            else basic_prefix(profile, tau)
-        )
-        prefixes.append(info)
-        stats.total_prefix_length += info.length
-        if not info.prunable:
-            stats.unprunable_graphs += 1
-    labels = [
-        (g.vertex_label_multiset(), g.edge_label_multiset()) for g in graphs
-    ]
-    return profiles, prefixes, labels, sorter
 
 
 def gsim_join(
@@ -283,7 +57,9 @@ def gsim_join(
     Graphs must carry distinct ids (:func:`repro.graph.assign_ids`).
     Returns a :class:`~repro.core.result.JoinResult` whose ``pairs`` hold
     ``(r.graph_id, s.graph_id)`` tuples ordered by scan position, and
-    whose ``stats`` carry every quantity the paper's figures plot.
+    whose ``stats`` carry every quantity the paper's figures plot —
+    including one :class:`~repro.core.result.StageStatistics` row per
+    plan stage in ``stats.stages``.
 
     Robustness knobs (``docs/ROBUSTNESS.md``) — all default-off, and
     with the defaults results are bit-identical to the classic join:
@@ -302,132 +78,15 @@ def gsim_join(
     Raises
     ------
     ParameterError
-        On negative ``tau``/``q``, missing ids, or duplicate ids.
+        On negative ``tau``/``q``, missing ids, duplicate ids, or an
+        invalid ``options.plan``.
     CheckpointError
         When ``checkpoint`` names a journal from a different run.
     """
-    if options is None:
-        options = GSimJoinOptions()
-    _validate(graphs, tau, options)
-    if budget is not None and options.verifier not in BUDGETED_VERIFIERS:
-        raise ParameterError(
-            "budgeted verification requires an A*-family verifier "
-            "('astar'/'object'/'compiled')"
-        )
-
-    stats = JoinStatistics(num_graphs=len(graphs), tau=tau, q=options.q)
-    result = JoinResult(stats=stats)
-
-    started = time.perf_counter()
-    profiles, prefixes, labels, _sorter = _prepare_profiles(
-        graphs, tau, options, stats
+    return execute_self_join(
+        graphs, tau, options=options, budget=budget,
+        checkpoint=checkpoint, fault=fault,
     )
-    stats.index_time += time.perf_counter() - started
-
-    index = InvertedIndex()
-    unprunable: List[int] = []
-    # One compilation cache for the whole join: every graph appears in
-    # many candidate pairs, so each is compiled at most once per run.
-    cache = VerificationCache() if options.verifier == "compiled" else None
-    journal = (
-        JoinJournal.open(checkpoint, _journal_meta(graphs, tau, options, budget))
-        if checkpoint is not None
-        else None
-    )
-    injector = fault.start() if fault is not None else None
-
-    try:
-        for i, profile in enumerate(profiles):
-            info = prefixes[i]
-            r = profile.graph
-
-            # --- Candidate generation -----------------------------------
-            started = time.perf_counter()
-            candidate_ids: Dict[int, bool] = {}
-            if info.prunable:
-                for key in profile.prefix_keys(info.length):
-                    for j in index.probe(key):
-                        if j not in candidate_ids and passes_size_filter(
-                            r, profiles[j].graph, tau
-                        ):
-                            candidate_ids[j] = True
-                for j in unprunable:
-                    if j not in candidate_ids and passes_size_filter(
-                        r, profiles[j].graph, tau
-                    ):
-                        candidate_ids[j] = True
-            else:
-                for j in range(i):
-                    if passes_size_filter(r, profiles[j].graph, tau):
-                        candidate_ids[j] = True
-            stats.cand1 += len(candidate_ids)
-            stats.candidate_time += time.perf_counter() - started
-
-            # --- Verification -------------------------------------------
-            started = time.perf_counter()
-            for j in candidate_ids:
-                rec = (
-                    journal.completed.get((i, j))
-                    if journal is not None
-                    else None
-                )
-                if rec is None:
-                    if injector is not None:
-                        injector.step()
-                    outcome = verify_pair(
-                        profile,
-                        profiles[j],
-                        tau,
-                        labels[i],
-                        labels[j],
-                        use_local_label=options.local_label,
-                        improved_order=options.improved_order,
-                        improved_h=options.improved_h,
-                        stats=stats,
-                        use_multicover=options.multicover,
-                        verifier=options.verifier,
-                        budget=budget,
-                        cache=cache,
-                        anchor_bound=options.anchor_bound,
-                    )
-                    if journal is not None:
-                        journal.append(_record_of(i, j, outcome))
-                    is_result, undecided = outcome.is_result, outcome.undecided
-                    lower, upper = outcome.lower, outcome.upper
-                else:
-                    _replay_record(stats, rec)
-                    is_result, undecided = rec.is_result, rec.undecided
-                    lower, upper = rec.lower, rec.upper
-                if is_result:
-                    result.pairs.append((profiles[j].graph.graph_id, r.graph_id))
-                elif undecided:
-                    result.undecided.append(
-                        BoundedPair(
-                            profiles[j].graph.graph_id, r.graph_id, lower, upper
-                        )
-                    )
-            stats.verify_time += time.perf_counter() - started
-
-            # --- Index maintenance --------------------------------------
-            started = time.perf_counter()
-            if info.prunable:
-                for key in profile.prefix_keys(info.length):
-                    index.add(key, i)
-            else:
-                unprunable.append(i)
-            stats.index_time += time.perf_counter() - started
-    finally:
-        if journal is not None:
-            journal.close()
-
-    stats.results = len(result.pairs)
-    stats.index_distinct_keys = index.num_distinct_keys
-    stats.index_postings = index.num_postings
-    stats.index_bytes = index.size_bytes
-    if cache is not None:
-        stats.compile_time = cache.compile_seconds
-        stats.compiled_graphs = len(cache)
-    return result
 
 
 def gsim_join_rs(
@@ -436,6 +95,8 @@ def gsim_join_rs(
     tau: int,
     options: Optional[GSimJoinOptions] = None,
     budget: Optional[VerificationBudget] = None,
+    checkpoint: Optional[Union[str, os.PathLike]] = None,
+    fault: Optional[FaultPlan] = None,
 ) -> JoinResult:
     """R×S join: ``{⟨r, s⟩ | ged(r, s) ≤ τ, r ∈ outer, s ∈ inner}``.
 
@@ -444,122 +105,21 @@ def gsim_join_rs(
     prefixes are comparable.  Result pairs are ``(r.graph_id,
     s.graph_id)``; ids must be distinct within each collection.
 
-    ``budget``, when given, caps per-pair A* effort exactly as in
-    :func:`gsim_join`; undecided pairs land in ``result.undecided``.
+    ``budget``, ``checkpoint`` and ``fault`` work exactly as in
+    :func:`gsim_join`: budgeted verification routes undecided pairs to
+    ``result.undecided``, and a checkpoint journal (keyed by
+    ``(outer_position, inner_position)``) makes an interrupted R×S join
+    resumable with results identical to an uninterrupted run's.
+
+    Raises
+    ------
+    ParameterError
+        Same validation as :func:`gsim_join`, applied to both
+        collections.
+    CheckpointError
+        When ``checkpoint`` names a journal from a different run.
     """
-    if options is None:
-        options = GSimJoinOptions()
-    _validate(outer, tau, options)
-    _validate(inner, tau, options)
-    if budget is not None and options.verifier not in BUDGETED_VERIFIERS:
-        raise ParameterError(
-            "budgeted verification requires an A*-family verifier "
-            "('astar'/'object'/'compiled')"
-        )
-
-    stats = JoinStatistics(
-        num_graphs=len(outer) + len(inner), tau=tau, q=options.q
+    return execute_rs_join(
+        outer, inner, tau, options=options, budget=budget,
+        checkpoint=checkpoint, fault=fault,
     )
-    result = JoinResult(stats=stats)
-
-    started = time.perf_counter()
-    all_graphs = list(outer) + list(inner)
-    profiles_all = [extract_qgrams(g, options.q) for g in all_graphs]
-    sorter = _build_sorter(profiles_all, options)
-    prefixes_all: List[PrefixInfo] = []
-    for profile in profiles_all:
-        sorter.sort_profile(profile)
-        info = (
-            minedit_prefix(profile, tau)
-            if options.minedit_prefix
-            else basic_prefix(profile, tau)
-        )
-        prefixes_all.append(info)
-        stats.total_prefix_length += info.length
-        if not info.prunable:
-            stats.unprunable_graphs += 1
-    labels_all = [
-        (g.vertex_label_multiset(), g.edge_label_multiset()) for g in all_graphs
-    ]
-    n_outer = len(outer)
-    outer_profiles = profiles_all[:n_outer]
-    inner_profiles = profiles_all[n_outer:]
-
-    index = InvertedIndex()
-    cache = VerificationCache() if options.verifier == "compiled" else None
-    inner_unprunable: List[int] = []
-    for j, profile in enumerate(inner_profiles):
-        info = prefixes_all[n_outer + j]
-        if info.prunable:
-            for key in profile.prefix_keys(info.length):
-                index.add(key, j)
-        else:
-            inner_unprunable.append(j)
-    stats.index_time += time.perf_counter() - started
-
-    for i, profile in enumerate(outer_profiles):
-        info = prefixes_all[i]
-        r = profile.graph
-
-        started = time.perf_counter()
-        candidate_ids: Dict[int, bool] = {}
-        if info.prunable:
-            for key in profile.prefix_keys(info.length):
-                for j in index.probe(key):
-                    if j not in candidate_ids and passes_size_filter(
-                        r, inner_profiles[j].graph, tau
-                    ):
-                        candidate_ids[j] = True
-            for j in inner_unprunable:
-                if j not in candidate_ids and passes_size_filter(
-                    r, inner_profiles[j].graph, tau
-                ):
-                    candidate_ids[j] = True
-        else:
-            for j in range(len(inner_profiles)):
-                if passes_size_filter(r, inner_profiles[j].graph, tau):
-                    candidate_ids[j] = True
-        stats.cand1 += len(candidate_ids)
-        stats.candidate_time += time.perf_counter() - started
-
-        started = time.perf_counter()
-        for j in candidate_ids:
-            outcome = verify_pair(
-                profile,
-                inner_profiles[j],
-                tau,
-                labels_all[i],
-                labels_all[n_outer + j],
-                use_local_label=options.local_label,
-                improved_order=options.improved_order,
-                improved_h=options.improved_h,
-                stats=stats,
-                use_multicover=options.multicover,
-                verifier=options.verifier,
-                budget=budget,
-                cache=cache,
-                anchor_bound=options.anchor_bound,
-            )
-            if outcome.is_result:
-                result.pairs.append(
-                    (r.graph_id, inner_profiles[j].graph.graph_id)
-                )
-            elif outcome.undecided:
-                result.undecided.append(
-                    BoundedPair(
-                        r.graph_id,
-                        inner_profiles[j].graph.graph_id,
-                        outcome.lower,
-                        outcome.upper,
-                    )
-                )
-        stats.verify_time += time.perf_counter() - started
-
-    stats.results = len(result.pairs)
-    stats.index_distinct_keys = index.num_distinct_keys
-    stats.index_postings = index.num_postings
-    stats.index_bytes = index.size_bytes
-    if cache is not None:
-        stats.compile_time = cache.compile_seconds
-        stats.compiled_graphs = len(cache)
-    return result

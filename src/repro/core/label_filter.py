@@ -1,13 +1,16 @@
-"""Backwards-compatible re-export; the code moved to :mod:`repro.grams.labels`.
+"""Deprecated re-export; the code moved to :mod:`repro.grams.labels`.
 
 Label filtering (Lemmas 4–5, Algorithm 5) is used both by the Verify
 cascade (``repro.core``) and by the improved A* heuristic
 (``repro.ged.heuristics``); it now lives in :mod:`repro.grams` so that
 ``ged`` never imports ``core`` (see ``docs/STATIC_ANALYSIS.md`` for the
-dependency DAG).
+dependency DAG).  Importing this module warns; import
+:mod:`repro.grams.labels` instead.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from repro.grams.labels import (
     connected_gram_components,
@@ -15,6 +18,12 @@ from repro.grams.labels import (
     global_label_lower_bound,
     local_label_lower_bound,
     multicover_min_edit_bound,
+)
+
+warnings.warn(
+    "repro.core.label_filter is deprecated; import repro.grams.labels instead",
+    DeprecationWarning,
+    stacklevel=2,
 )
 
 __all__ = [

@@ -1,18 +1,27 @@
-"""Backwards-compatible re-export; the code moved to :mod:`repro.grams.minedit`.
+"""Deprecated re-export; the code moved to :mod:`repro.grams.minedit`.
 
 The bounded minimum-edit (hitting set) solvers back both minimum edit
 filtering (``repro.core``) and local label filtering inside the improved
 A* heuristic (``repro.ged``); they now live in :mod:`repro.grams` so
 that ``ged`` never imports ``core`` (see ``docs/STATIC_ANALYSIS.md`` for
-the dependency DAG).
+the dependency DAG).  Importing this module warns; import
+:mod:`repro.grams.minedit` instead.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from repro.grams.minedit import (
     min_edit_exact,
     min_edit_lower_bound,
     min_prefix_length,
+)
+
+warnings.warn(
+    "repro.core.minedit is deprecated; import repro.grams.minedit instead",
+    DeprecationWarning,
+    stacklevel=2,
 )
 
 __all__ = ["min_edit_exact", "min_edit_lower_bound", "min_prefix_length"]

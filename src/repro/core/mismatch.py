@@ -1,13 +1,22 @@
-"""Backwards-compatible re-export; the code moved to :mod:`repro.grams.mismatch`.
+"""Deprecated re-export; the code moved to :mod:`repro.grams.mismatch`.
 
 ``CompareQGrams`` feeds both the Verify cascade (``repro.core``) and the
 improved A* heuristic (``repro.ged``); it now lives in
 :mod:`repro.grams` so that ``ged`` never imports ``core`` (see
-``docs/STATIC_ANALYSIS.md`` for the dependency DAG).
+``docs/STATIC_ANALYSIS.md`` for the dependency DAG).  Importing this
+module warns; import :mod:`repro.grams.mismatch` instead.
 """
 
 from __future__ import annotations
 
+import warnings
+
 from repro.grams.mismatch import MismatchResult, compare_qgrams, mismatching_grams
+
+warnings.warn(
+    "repro.core.mismatch is deprecated; import repro.grams.mismatch instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = ["MismatchResult", "compare_qgrams", "mismatching_grams"]

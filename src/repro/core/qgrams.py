@@ -1,13 +1,22 @@
-"""Backwards-compatible re-export; the code moved to :mod:`repro.grams.qgrams`.
+"""Deprecated re-export; the code moved to :mod:`repro.grams.qgrams`.
 
 The q-gram primitives are shared by the filter layer (``repro.core``)
 and the GED layer (``repro.ged``); they now live in :mod:`repro.grams`
 so that ``ged`` never imports ``core`` (see ``docs/STATIC_ANALYSIS.md``
-for the dependency DAG).
+for the dependency DAG).  Importing this module warns; import
+:mod:`repro.grams.qgrams` instead.
 """
 
 from __future__ import annotations
 
+import warnings
+
 from repro.grams.qgrams import Key, QGram, QGramProfile, extract_qgrams, qgram_key
+
+warnings.warn(
+    "repro.core.qgrams is deprecated; import repro.grams.qgrams instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = ["Key", "QGram", "QGramProfile", "extract_qgrams", "qgram_key"]

@@ -1,117 +1,19 @@
-"""Join results and the per-phase statistics plotted in the paper.
+"""Backwards-compatible re-export; the code moved to
+:mod:`repro.engine.result`.
 
-Every figure of the evaluation section is a projection of these
-numbers: *Cand-1* (pairs surviving index probing + size filtering),
-*Cand-2* (pairs reaching the GED computation), result pairs, average
-prefix length, index size, and the three phase timings (index
-construction / candidate generation / GED computation).
+Join results and statistics (including the per-stage
+:class:`~repro.engine.result.StageStatistics` rows) are defined by the
+staged execution engine (``repro.engine``); ``repro.core`` re-exports
+them so the public import surface is unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Hashable, List, NamedTuple, Optional, Tuple
+from repro.engine.result import (
+    BoundedPair,
+    JoinResult,
+    JoinStatistics,
+    StageStatistics,
+)
 
-__all__ = ["JoinStatistics", "JoinResult", "BoundedPair"]
-
-
-class BoundedPair(NamedTuple):
-    """A candidate pair the join could not decide exactly.
-
-    Produced by budgeted verification (``lower ≤ ged ≤ upper`` brackets
-    ``tau`` — see ``docs/ROBUSTNESS.md``) or by the parallel executor's
-    in-process fallback when a pair kept failing (``reason="error"``,
-    bounds unknown).  ``upper=None`` means no upper bound was obtained.
-    """
-
-    r_id: Hashable
-    s_id: Hashable
-    lower: Optional[int]
-    upper: Optional[int]
-    reason: str = "budget"
-
-
-@dataclass
-class JoinStatistics:
-    """Counters and timings collected during one join run."""
-
-    num_graphs: int = 0
-    tau: int = 0
-    q: int = 0
-
-    cand1: int = 0  #: candidate pairs after probing + size filtering
-    cand2: int = 0  #: pairs that reached the GED computation
-    results: int = 0  #: pairs in the join result
-
-    pruned_by_size: int = 0
-    pruned_by_global_label: int = 0
-    pruned_by_count: int = 0
-    pruned_by_local_label: int = 0
-
-    total_prefix_length: int = 0
-    unprunable_graphs: int = 0
-    index_distinct_keys: int = 0
-    index_postings: int = 0
-    index_bytes: int = 0
-
-    index_time: float = 0.0  #: q-gram extraction + ordering + prefix + inserts
-    candidate_time: float = 0.0  #: index probing + size filtering
-    verify_time: float = 0.0  #: Verify incl. filters and GED
-    ged_time: float = 0.0  #: GED A* searches only
-    ged_calls: int = 0
-    ged_expansions: int = 0
-    compile_time: float = 0.0  #: compiled-verifier graph compilation (⊂ ged_time)
-    compiled_graphs: int = 0  #: distinct graphs compiled by the verifier cache
-
-    undecided: int = 0  #: pairs whose budget-bounded verdict spans tau
-    replayed_pairs: int = 0  #: pairs skipped on resume via the journal
-    chunk_retries: int = 0  #: parallel chunks re-dispatched after a failure
-    fallback_pairs: int = 0  #: pairs verified in-process after max_retries
-    failed_pairs: int = 0  #: pairs unverifiable even in the fallback
-
-    @property
-    def total_time(self) -> float:
-        return self.index_time + self.candidate_time + self.verify_time
-
-    @property
-    def avg_prefix_length(self) -> float:
-        return self.total_prefix_length / self.num_graphs if self.num_graphs else 0.0
-
-    def summary(self) -> str:
-        """One-line human-readable summary (used by examples/benchmarks)."""
-        text = (
-            f"n={self.num_graphs} tau={self.tau} q={self.q} | "
-            f"cand1={self.cand1} cand2={self.cand2} results={self.results} | "
-            f"avg prefix={self.avg_prefix_length:.1f} "
-            f"index={self.index_bytes / 1024.0:.1f}kB | "
-            f"t_index={self.index_time:.3f}s t_cand={self.candidate_time:.3f}s "
-            f"t_verify={self.verify_time:.3f}s (ged {self.ged_time:.3f}s, "
-            f"{self.ged_calls} calls)"
-        )
-        if self.undecided or self.failed_pairs:
-            text += (
-                f" | undecided={self.undecided} failed={self.failed_pairs}"
-            )
-        return text
-
-
-@dataclass
-class JoinResult:
-    """Result pairs (as graph-id tuples) plus the run's statistics.
-
-    ``undecided`` is the budgeted-execution channel: pairs whose exact
-    verdict the verification budget (or the fault-recovery fallback)
-    could not produce, each with the best known ``lower``/``upper`` GED
-    bounds.  Without a budget and without faults it is always empty.
-    """
-
-    pairs: List[Tuple[Hashable, Hashable]] = field(default_factory=list)
-    stats: JoinStatistics = field(default_factory=JoinStatistics)
-    undecided: List[BoundedPair] = field(default_factory=list)
-
-    def pair_set(self) -> set:
-        """The result pairs as a set for comparisons in tests."""
-        return set(self.pairs)
-
-    def __len__(self) -> int:
-        return len(self.pairs)
+__all__ = ["JoinStatistics", "JoinResult", "BoundedPair", "StageStatistics"]

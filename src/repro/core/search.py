@@ -14,22 +14,28 @@ keeps prefix filtering sound for all admissible thresholds (at the cost
 of a few extra candidates for small τ).  Graphs are also insertable
 incrementally — the global q-gram ordering is frozen at construction,
 and unseen q-gram keys conservatively sort last.
+
+Queries run on the staged execution engine: the index builds its
+:class:`~repro.engine.plan.JoinPlan` once and drives a per-query
+:class:`~repro.engine.executor.Executor` over it, so a caller-supplied
+:class:`~repro.core.result.JoinStatistics` accumulates per-stage
+survivor counts and timings across queries exactly like a join run's.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Hashable, List, Optional, Sequence, Tuple
 
-from repro.core.count_filter import passes_size_filter
-from repro.core.inverted_index import InvertedIndex
-from repro.core.join import GSimJoinOptions, Sorter, _build_sorter
-from repro.core.prefix import PrefixInfo, basic_prefix, minedit_prefix
-from repro.grams.qgrams import QGramProfile, extract_qgrams
-from repro.core.result import JoinStatistics
-from repro.core.verify import verify_pair
+from repro.engine.executor import Executor
+from repro.engine.inverted_index import InvertedIndex
+from repro.engine.options import GSimJoinOptions, Sorter, build_sorter
+from repro.engine.plan import JoinPlan, build_plan
+from repro.engine.prefix import PrefixInfo
+from repro.engine.result import JoinStatistics
 from repro.exceptions import ParameterError
 from repro.ged.compiled import VerificationCache
 from repro.graph.graph import Graph
+from repro.grams.qgrams import QGramProfile, extract_qgrams
 
 __all__ = ["GSimIndex"]
 
@@ -63,6 +69,7 @@ class GSimIndex:
             raise ParameterError(f"tau_max must be >= 0, got {tau_max}")
         self.tau_max = tau_max
         self.options = options if options is not None else GSimJoinOptions()
+        self._plan: JoinPlan = build_plan(self.options)
         self.graphs: List[Graph] = []
         self._profiles: List[QGramProfile] = []
         self._labels: List[Tuple] = []
@@ -81,7 +88,7 @@ class GSimIndex:
         # Freeze the ordering on the initial collection (or empty):
         # either an interning vocabulary (ids in global-ordering rank,
         # the default) or the repr-tokenized object-key ordering.
-        self._sorter: Sorter = _build_sorter(initial_profiles, self.options)
+        self._sorter: Sorter = build_sorter(initial_profiles, self.options)
         for g, profile in zip(initial, initial_profiles):
             self._validate_new(g)
             self._insert(g, profile)
@@ -126,9 +133,7 @@ class GSimIndex:
         self._insert(g, extract_qgrams(g, self.options.q))
 
     def _prefix(self, profile: QGramProfile, tau: int) -> PrefixInfo:
-        if self.options.minedit_prefix:
-            return minedit_prefix(profile, tau)
-        return basic_prefix(profile, tau)
+        return self._plan.prefix.prefix_info(profile, tau)
 
     def query(
         self,
@@ -140,7 +145,8 @@ class GSimIndex:
 
         Returns ``(graph_id, distance)`` pairs (the query graph itself is
         excluded when indexed, by id).  ``stats`` optionally accrues
-        candidate counts and GED timings across queries.
+        candidate counts, GED timings and per-stage survivor rows
+        across queries.
 
         Raises
         ------
@@ -153,47 +159,29 @@ class GSimIndex:
             raise ParameterError(
                 f"tau={tau} exceeds the index's tau_max={self.tau_max}"
             )
+        executor = Executor(
+            tau,
+            self.options,
+            stats if stats is not None else JoinStatistics(),
+            cache=self._cache,
+            plan=self._plan,
+        )
         profile = extract_qgrams(g, self.options.q)
         self._sorter.sort_profile(profile)
         info = self._prefix(profile, tau)
 
-        candidates: Dict[int, bool] = {}
-        if info.prunable:
-            for key in profile.prefix_keys(info.length):
-                for j in self._index.probe(key):
-                    if j not in candidates and passes_size_filter(
-                        g, self.graphs[j], tau
-                    ):
-                        candidates[j] = True
-            for j in self._unprunable:
-                if j not in candidates and passes_size_filter(g, self.graphs[j], tau):
-                    candidates[j] = True
-        else:
-            for j in range(len(self.graphs)):
-                if passes_size_filter(g, self.graphs[j], tau):
-                    candidates[j] = True
-        if stats:
-            stats.cand1 += len(candidates)
+        candidates = executor.collect_candidates(
+            profile, info, self._index, self._unprunable, self._profiles,
+            len(self.graphs),
+        )
 
         g_labels = (g.vertex_label_multiset(), g.edge_label_multiset())
         matches: List[Tuple[Hashable, int]] = []
         for j in candidates:
             if self.graphs[j].graph_id == g.graph_id:
                 continue
-            outcome = verify_pair(
-                profile,
-                self._profiles[j],
-                tau,
-                g_labels,
-                self._labels[j],
-                use_local_label=self.options.local_label,
-                improved_order=self.options.improved_order,
-                improved_h=self.options.improved_h,
-                stats=stats,
-                use_multicover=self.options.multicover,
-                verifier=self.options.verifier,
-                cache=self._cache,
-                anchor_bound=self.options.anchor_bound,
+            outcome = executor.verify_candidate(
+                profile, self._profiles[j], g_labels, self._labels[j]
             )
             if outcome.is_result:
                 matches.append((self.graphs[j].graph_id, outcome.ged))

@@ -1,248 +1,16 @@
-"""Candidate verification (Section VI, Algorithm 6).
+"""Backwards-compatible re-export; the code moved to
+:mod:`repro.engine.verify` (and :mod:`repro.engine.stages`).
 
-Candidates pass through a cascade of increasingly expensive filters —
-global label filtering, count filtering (via mismatching q-gram counts),
-local label filtering — and only survivors reach the A*-based GED
-computation, itself accelerated by the improved vertex order
-(Algorithm 7) and improved heuristic (Algorithm 8) when enabled.
+Candidate verification (Section VI, Algorithm 6) is the per-pair filter
+cascade plus the GED stage of the staged execution engine
+(``repro.engine``); ``repro.core`` re-exports :func:`verify_pair` — the
+historical flat-argument entry point — so the public import surface is
+unchanged.
 """
 
 from __future__ import annotations
 
-import time
-from collections import Counter
-from dataclasses import dataclass
-from typing import Optional, Tuple
-
-from repro.grams.labels import (
-    global_label_lower_bound,
-    local_label_lower_bound,
-    multicover_min_edit_bound,
-)
-from repro.grams.mismatch import compare_qgrams
-from repro.grams.qgrams import QGramProfile
-from repro.core.result import JoinStatistics
-from repro.exceptions import ParameterError
-from repro.ged.astar import graph_edit_distance_detailed
-from repro.ged.compiled import VerificationCache, compiled_ged_detailed
-from repro.ged.heuristics import label_heuristic, make_local_label_heuristic
-from repro.ged.vertex_order import input_vertex_order, mismatch_vertex_order
-from repro.runtime.budget import VerificationBudget
+from repro.engine.stages import BUDGETED_VERIFIERS
+from repro.engine.verify import VerifyOutcome, verify_pair
 
 __all__ = ["VerifyOutcome", "verify_pair"]
-
-#: Verifiers that support :class:`VerificationBudget` bounded verdicts.
-BUDGETED_VERIFIERS = frozenset({"astar", "object", "compiled"})
-
-LabelPair = Tuple[Counter, Counter]
-
-
-@dataclass(frozen=True)
-class VerifyOutcome:
-    """Why a pair was accepted or rejected.
-
-    ``pruned_by`` is one of ``"global_label"``, ``"count"``,
-    ``"local_label"``, ``"multicover"``, ``"ged"`` or ``None``
-    (accepted); ``ged`` is the (threshold-capped) distance when the
-    computation ran and decided exactly.
-
-    Budgeted verification adds three fields: ``undecided`` marks a pair
-    whose A* exhausted its budget with ``lower ≤ tau < upper`` (the
-    join routes it to the ``undecided`` channel), and
-    ``lower``/``upper`` carry the bounded verdict whenever the budget
-    ran out — including for pairs the bounds *did* decide (accepted
-    because ``upper ≤ tau``, or rejected because ``lower > tau``).
-    ``expansions``/``ged_seconds`` record the A* cost of this single
-    pair so the outcome can be journaled and replayed exactly.
-    """
-
-    is_result: bool
-    pruned_by: Optional[str]
-    ged: Optional[int] = None
-    undecided: bool = False
-    lower: Optional[int] = None
-    upper: Optional[int] = None
-    expansions: int = 0
-    ged_seconds: float = 0.0
-
-
-def verify_pair(
-    p_r: QGramProfile,
-    p_s: QGramProfile,
-    tau: int,
-    labels_r: LabelPair,
-    labels_s: LabelPair,
-    use_local_label: bool,
-    improved_order: bool,
-    improved_h: bool,
-    stats: Optional[JoinStatistics] = None,
-    use_multicover: bool = False,
-    verifier: str = "astar",
-    budget: Optional[VerificationBudget] = None,
-    cache: Optional[VerificationCache] = None,
-    anchor_bound: bool = False,
-) -> VerifyOutcome:
-    """Run Algorithm 6 on one candidate pair.
-
-    Parameters mirror the join variants: ``use_local_label`` enables the
-    ε₄/ε₅ tests, ``improved_order``/``improved_h`` select the GED
-    optimizations of Section VI-B.  ``use_multicover`` additionally
-    applies the set-multicover minimum-edit bound over partially matched
-    surplus keys — an extension beyond the paper's Algorithm 5 (see
-    :func:`repro.grams.labels.multicover_min_edit_bound`).
-    ``stats``, when given, accrues the Cand-2 counter, filter prune
-    counters, and GED timings.
-
-    ``verifier`` selects the GED backend: ``"compiled"`` (the
-    integer-array A* of :mod:`repro.ged.compiled`, bit-identical to the
-    object backend), ``"astar"``/``"object"`` (the object-graph A* of
-    :mod:`repro.ged.astar`; two names for one backend), or ``"dfs"``.
-    ``cache`` supplies the per-collection :class:`VerificationCache`
-    for the compiled backend (one is created ad hoc when omitted, which
-    forfeits cross-pair compilation reuse).  ``anchor_bound`` enables
-    the compiled backend's optional anchor-aware lower bound — same
-    results, potentially fewer expansions.
-
-    ``budget`` caps the A* effort; on exhaustion the outcome is decided
-    from the bounded verdict when possible (``upper <= tau`` accepts,
-    ``lower > tau`` rejects) and marked ``undecided`` otherwise — never
-    an exception or a hang.  Budgets require an A*-family verifier
-    (``"astar"``/``"object"``/``"compiled"``).
-
-    Raises
-    ------
-    ParameterError
-        On an unknown verifier, a ``budget`` combined with the
-        ``"dfs"`` verifier (which has no bounded-verdict mode), or
-        ``anchor_bound`` with a non-compiled verifier.
-    """
-    r, s = p_r.graph, p_s.graph
-
-    # Global label filtering (Lemma 5).
-    eps1 = global_label_lower_bound(r, s, labels_r, labels_s)
-    if eps1 > tau:
-        if stats:
-            stats.pruned_by_global_label += 1
-        return VerifyOutcome(False, "global_label")
-
-    # Count filtering, via mismatching q-gram counts (Lemma 1 restated:
-    # |Q_r \ Q_s| <= tau * D_path(r), symmetrically for s).  Passing tau
-    # lets the interned merge bail out as soon as a bound is exceeded.
-    mismatch = compare_qgrams(p_r, p_s, tau)
-    if mismatch.count_pruned:
-        if stats:
-            stats.pruned_by_count += 1
-        return VerifyOutcome(False, "count")
-
-    # Local label filtering (Algorithm 5), both directions.
-    if use_local_label:
-        eps4 = local_label_lower_bound(
-            mismatch.mismatch_r, r, s, tau,
-            other_labels=labels_s, required_mask=mismatch.required_mask_r,
-        )
-        if eps4 > tau:
-            if stats:
-                stats.pruned_by_local_label += 1
-            return VerifyOutcome(False, "local_label")
-        eps5 = local_label_lower_bound(
-            mismatch.mismatch_s, s, r, tau,
-            other_labels=labels_r, required_mask=mismatch.required_mask_s,
-        )
-        if eps5 > tau:
-            if stats:
-                stats.pruned_by_local_label += 1
-            return VerifyOutcome(False, "local_label")
-
-    # Multicover extension: bounds over partially matched surplus keys.
-    if use_multicover:
-        if (
-            multicover_min_edit_bound(mismatch.surplus_groups_r(p_r, p_s), tau) > tau
-            or multicover_min_edit_bound(mismatch.surplus_groups_s(p_r, p_s), tau) > tau
-        ):
-            if stats:
-                stats.pruned_by_local_label += 1
-            return VerifyOutcome(False, "multicover")
-
-    # GED computation on the survivors (Cand-2).
-    if stats:
-        stats.cand2 += 1
-    order = (
-        mismatch_vertex_order(r, mismatch.mismatch_r)
-        if improved_order
-        else input_vertex_order(r)
-    )
-    if anchor_bound and verifier != "compiled":
-        raise ParameterError(
-            "anchor_bound requires the 'compiled' verifier"
-        )
-    started = time.perf_counter()
-    if verifier == "dfs":
-        if budget is not None:
-            raise ParameterError(
-                "budgeted verification requires an A*-family verifier "
-                "('astar'/'object'/'compiled')"
-            )
-        from repro.ged.dfs import dfs_ged
-
-        heuristic = (
-            make_local_label_heuristic(p_r.q, tau) if improved_h else label_heuristic
-        )
-        search = dfs_ged(
-            r, s, threshold=tau, heuristic=heuristic, vertex_order=order
-        )
-    elif verifier == "compiled":
-        if cache is None:
-            cache = VerificationCache()
-        cr = cache.compile(r)
-        cs = cache.compile(s)
-        index_of = cr.index_of
-        int_order = [index_of[v] for v in order]
-        search = compiled_ged_detailed(
-            cr, cs, threshold=tau, vertex_order=int_order, budget=budget,
-            improved_h=improved_h, q=p_r.q, h_tau=tau,
-            subgraph_cache=cache.subgraph_cache, anchor_bound=anchor_bound,
-        )
-    elif verifier in ("astar", "object"):
-        heuristic = (
-            make_local_label_heuristic(p_r.q, tau) if improved_h else label_heuristic
-        )
-        search = graph_edit_distance_detailed(
-            r, s, threshold=tau, heuristic=heuristic, vertex_order=order,
-            budget=budget,
-        )
-    else:
-        raise ParameterError(f"unknown verifier {verifier!r}")
-    elapsed = time.perf_counter() - started
-    if stats:
-        stats.ged_time += elapsed
-        stats.ged_calls += 1
-        stats.ged_expansions += search.expanded
-    if getattr(search, "budget_exhausted", False):
-        lower, upper = search.lower, search.upper
-        if upper is not None and upper <= tau:
-            # ged <= upper <= tau: membership decided despite exhaustion.
-            return VerifyOutcome(
-                True, None, None, lower=lower, upper=upper,
-                expansions=search.expanded, ged_seconds=elapsed,
-            )
-        if lower is not None and lower > tau:
-            # tau < lower <= ged: decided rejection.
-            return VerifyOutcome(
-                False, "ged", None, lower=lower, upper=upper,
-                expansions=search.expanded, ged_seconds=elapsed,
-            )
-        if stats:
-            stats.undecided += 1
-        return VerifyOutcome(
-            False, None, None, undecided=True, lower=lower, upper=upper,
-            expansions=search.expanded, ged_seconds=elapsed,
-        )
-    if search.distance <= tau:
-        return VerifyOutcome(
-            True, None, search.distance,
-            expansions=search.expanded, ged_seconds=elapsed,
-        )
-    return VerifyOutcome(
-        False, "ged", search.distance,
-        expansions=search.expanded, ged_seconds=elapsed,
-    )

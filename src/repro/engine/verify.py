@@ -1,0 +1,124 @@
+"""Candidate verification (Section VI, Algorithm 6).
+
+Candidates pass through a cascade of increasingly expensive filters —
+global label filtering, count filtering (via mismatching q-gram counts),
+local label filtering — and only survivors reach the A*-based GED
+computation, itself accelerated by the improved vertex order
+(Algorithm 7) and improved heuristic (Algorithm 8) when enabled.
+
+The cascade is built from the first-class stage objects of
+:mod:`repro.engine.stages`; :func:`verify_pair` keeps the historical
+flat-argument signature and simply runs the corresponding stage
+cascade, so standalone callers and the engine's executor share one
+implementation.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional, Tuple
+
+from repro.engine.result import JoinStatistics
+from repro.engine.stages import (
+    BUDGETED_VERIFIERS,
+    CountFilter,
+    GlobalLabelFilter,
+    LabelFilter,
+    MulticoverFilter,
+    PairContext,
+    PairFilter,
+    Verify,
+    VerifyOutcome,
+    run_cascade,
+)
+from repro.ged.compiled import VerificationCache
+from repro.grams.qgrams import QGramProfile
+from repro.runtime.budget import VerificationBudget
+
+__all__ = ["VerifyOutcome", "verify_pair"]
+
+LabelPair = Tuple
+
+
+@lru_cache(maxsize=None)
+def _filters_for(
+    use_local_label: bool, use_multicover: bool
+) -> Tuple[PairFilter, ...]:
+    """The default-order cascade for one flag combination (cached)."""
+    filters = [GlobalLabelFilter(), CountFilter()]
+    if use_local_label:
+        filters.append(LabelFilter())
+    if use_multicover:
+        filters.append(MulticoverFilter())
+    return tuple(filters)
+
+
+@lru_cache(maxsize=None)
+def _verify_for(
+    verifier: str, improved_order: bool, improved_h: bool, anchor_bound: bool
+) -> Verify:
+    """The verify stage for one backend configuration (cached)."""
+    return Verify(
+        verifier=verifier,
+        improved_order=improved_order,
+        improved_h=improved_h,
+        anchor_bound=anchor_bound,
+    )
+
+
+def verify_pair(
+    p_r: QGramProfile,
+    p_s: QGramProfile,
+    tau: int,
+    labels_r: LabelPair,
+    labels_s: LabelPair,
+    use_local_label: bool,
+    improved_order: bool,
+    improved_h: bool,
+    stats: Optional[JoinStatistics] = None,
+    use_multicover: bool = False,
+    verifier: str = "astar",
+    budget: Optional[VerificationBudget] = None,
+    cache: Optional[VerificationCache] = None,
+    anchor_bound: bool = False,
+) -> VerifyOutcome:
+    """Run Algorithm 6 on one candidate pair.
+
+    Parameters mirror the join variants: ``use_local_label`` enables the
+    ε₄/ε₅ tests, ``improved_order``/``improved_h`` select the GED
+    optimizations of Section VI-B.  ``use_multicover`` additionally
+    applies the set-multicover minimum-edit bound over partially matched
+    surplus keys — an extension beyond the paper's Algorithm 5 (see
+    :func:`repro.grams.labels.multicover_min_edit_bound`).
+    ``stats``, when given, accrues the Cand-2 counter, filter prune
+    counters, and GED timings.
+
+    ``verifier`` selects the GED backend: ``"compiled"`` (the
+    integer-array A* of :mod:`repro.ged.compiled`, bit-identical to the
+    object backend), ``"astar"``/``"object"`` (the object-graph A* of
+    :mod:`repro.ged.astar`; two names for one backend), or ``"dfs"``.
+    ``cache`` supplies the per-collection :class:`VerificationCache`
+    for the compiled backend (one is created ad hoc when omitted, which
+    forfeits cross-pair compilation reuse).  ``anchor_bound`` enables
+    the compiled backend's optional anchor-aware lower bound — same
+    results, potentially fewer expansions.
+
+    ``budget`` caps the A* effort; on exhaustion the outcome is decided
+    from the bounded verdict when possible (``upper <= tau`` accepts,
+    ``lower > tau`` rejects) and marked ``undecided`` otherwise — never
+    an exception or a hang.  Budgets require an A*-family verifier
+    (``"astar"``/``"object"``/``"compiled"``).
+
+    Raises
+    ------
+    ParameterError
+        On an unknown verifier, a ``budget`` combined with the
+        ``"dfs"`` verifier (which has no bounded-verdict mode), or
+        ``anchor_bound`` with a non-compiled verifier.
+    """
+    ctx = PairContext(p_r, p_s, tau, labels_r, labels_s)
+    filters = _filters_for(use_local_label, use_multicover)
+    verify = _verify_for(verifier, improved_order, improved_h, anchor_bound)
+    return run_cascade(
+        filters, verify, ctx, stats=stats, budget=budget, cache=cache
+    )

@@ -12,8 +12,8 @@ so that ``repro.ged.heuristics`` / ``repro.ged.vertex_order`` no longer
 import ``repro.core`` (the historical ``core <-> ged`` import cycle;
 see ``docs/STATIC_ANALYSIS.md``).  The former homes —
 ``repro.core.qgrams``, ``repro.core.mismatch``, ``repro.core.minedit``
-and ``repro.core.label_filter`` — remain as backwards-compatible
-re-export shims.
+and ``repro.core.label_filter`` — remain as deprecated re-export
+shims that emit a :class:`DeprecationWarning` on import.
 """
 
 from __future__ import annotations

@@ -29,10 +29,18 @@ __all__ = [
 
 
 def stats_to_dict(stats: JoinStatistics) -> dict:
-    """A plain dict of every statistics field plus the derived values."""
+    """A plain dict of every statistics field plus the derived values.
+
+    The engine's per-stage rows come through under ``"stages"`` — one
+    dict per plan stage, in plan order, each with the stage's ``name``,
+    ``role``, ``input``/``survivors`` counts, wall-clock ``seconds``
+    and the derived ``pruned`` count.
+    """
     data = dataclasses.asdict(stats)
     data["total_time"] = stats.total_time
     data["avg_prefix_length"] = stats.avg_prefix_length
+    for row, stage in zip(data["stages"], stats.stages):
+        row["pruned"] = stage.pruned
     return data
 
 

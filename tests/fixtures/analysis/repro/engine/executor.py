@@ -1,0 +1,14 @@
+"""Fixture: hot-path allocations inside the engine executor loops."""
+
+
+def collect(profiles, index, tau):
+    candidates = []
+    for profile in profiles:
+        postings = list(index)
+        seen = set(profile.grams)
+        grams = extract_qgrams(profile, 3)  # noqa: F821
+        candidates.append((postings, seen, grams))
+    while candidates:
+        row = dict(candidates)  # repro: ignore[hot-path-alloc]
+        candidates.pop()
+    return candidates

@@ -144,10 +144,20 @@ def test_hot_path_covers_compiled_verifier():
     assert lines_for("hot-path-alloc", path) == [6, 7, 9, 10]
 
 
+def test_hot_path_covers_engine_executor():
+    """The rule extends to the staged execution engine's driver loops."""
+    path = FIXTURES / "repro" / "engine" / "executor.py"
+    # 7-8: copies in the for loop; 9: extract_qgrams in the for loop;
+    # 12 carries # repro: ignore[hot-path-alloc] and is suppressed.
+    assert lines_for("hot-path-alloc", path) == [7, 8, 9]
+
+
 def test_hot_path_rule_targets_compiled_module():
     from repro.analysis.rules.hot_path import TARGET_MODULES
 
     assert "repro.ged.compiled" in TARGET_MODULES
+    assert "repro.engine.executor" in TARGET_MODULES
+    assert "repro.engine.stages" in TARGET_MODULES
 
 
 # ----------------------------------------------------------- float equality

@@ -13,7 +13,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.core.join import GSimJoinOptions, gsim_join
+from repro.core.join import GSimJoinOptions, gsim_join, gsim_join_rs
 from repro.core.parallel import gsim_join_parallel
 from repro.exceptions import CheckpointError, InjectedFaultError
 from repro.graph import assign_ids, load_graphs, save_graphs
@@ -35,6 +35,25 @@ collection, checkpoint, interned = sys.argv[1], sys.argv[2], sys.argv[3] == "1"
 graphs = assign_ids(load_graphs(collection))
 gsim_join(
     graphs,
+    {tau},
+    options=GSimJoinOptions(interned=interned),
+    checkpoint=checkpoint,
+    fault=FaultPlan("kill", at={kill_at}),
+)
+""".format(tau=TAU, kill_at=KILL_AT)
+
+RS_DRIVER = """
+import sys
+from repro.core.join import GSimJoinOptions, gsim_join_rs
+from repro.graph import assign_ids, load_graphs
+from repro.runtime import FaultPlan
+
+outer, inner, checkpoint, interned = (
+    sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4] == "1"
+)
+gsim_join_rs(
+    assign_ids(load_graphs(outer)),
+    assign_ids(load_graphs(inner)),
     {tau},
     options=GSimJoinOptions(interned=interned),
     checkpoint=checkpoint,
@@ -82,6 +101,44 @@ class TestKilledJoinResumes:
         # The kill fired at verification KILL_AT, after KILL_AT - 1
         # records had been flushed — all of them must be replayed.
         assert resumed.stats.replayed_pairs == KILL_AT - 1
+
+
+@pytest.mark.parametrize("interned", [True, False])
+class TestKilledRSJoinResumes:
+    def test_subprocess_kill_then_resume(self, tmp_path, interned):
+        outer_path = tmp_path / "outer.txt"
+        inner_path = tmp_path / "inner.txt"
+        save_graphs(molecule_collection(12, seed=47), outer_path)
+        save_graphs(molecule_collection(12, seed=53), inner_path)
+        journal = tmp_path / "rs.jsonl"
+        proc = subprocess.run(
+            [sys.executable, "-c", RS_DRIVER, str(outer_path), str(inner_path),
+             str(journal), "1" if interned else "0"],
+            env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+            capture_output=True,
+            timeout=120,
+        )
+        assert proc.returncode == 1
+        assert journal.exists()
+
+        outer = assign_ids(load_graphs(outer_path))
+        inner = assign_ids(load_graphs(inner_path))
+        options = GSimJoinOptions(interned=interned)
+        clean = gsim_join_rs(outer, inner, TAU, options=options)
+        resumed = gsim_join_rs(
+            outer, inner, TAU, options=options, checkpoint=journal
+        )
+        assert_same_result(resumed, clean)
+        assert resumed.stats.replayed_pairs == KILL_AT - 1
+
+    def test_rs_journal_guards_against_swapped_sides(self, tmp_path, interned):
+        outer = molecule_collection(12, seed=47)
+        inner = molecule_collection(12, seed=53)
+        options = GSimJoinOptions(interned=interned)
+        journal = tmp_path / "rs.jsonl"
+        gsim_join_rs(outer, inner, TAU, options=options, checkpoint=journal)
+        with pytest.raises(CheckpointError, match="different run"):
+            gsim_join_rs(inner, outer, TAU, options=options, checkpoint=journal)
 
 
 @pytest.mark.parametrize("interned", [True, False])

@@ -11,7 +11,7 @@ from repro.core import (
     min_edit_lower_bound,
     min_prefix_length,
 )
-from repro.core.mismatch import mismatching_grams
+from repro.grams.mismatch import mismatching_grams
 from repro.datasets import figure1_graphs, figure4_graphs
 from repro.exceptions import ParameterError
 

@@ -7,7 +7,7 @@ from itertools import combinations
 
 from repro import GSimJoinOptions, gsim_join, naive_join
 from repro.core import compare_qgrams, extract_qgrams
-from repro.core.label_filter import multicover_min_edit_bound
+from repro.grams.labels import multicover_min_edit_bound
 from repro.exceptions import ParameterError
 from repro.ged import graph_edit_distance
 from repro.setcover import exact_min_multicover, multicover_coverage_bound

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 
 from repro.core import extract_qgrams
-from repro.core.qgrams import qgram_key
+from repro.grams.qgrams import qgram_key
 from repro.datasets import figure1_graphs
 from repro.exceptions import ParameterError
 from repro.graph.graph import Graph
