@@ -6,33 +6,46 @@ never mutate their inputs, library randomness must be seed-threaded,
 and the package layering must stay acyclic.  This package enforces them
 statically on every commit:
 
-* :mod:`repro.analysis.engine` — file walking, AST parsing, per-line
-  ``# repro: ignore[RULE]`` suppressions;
+* :mod:`repro.analysis.engine` — the two-phase driver: file walking,
+  AST parsing, per-line ``# repro: ignore[RULE]`` suppressions, and the
+  ``unused-suppression`` synthesis;
+* :mod:`repro.analysis.program` — the whole-program layer: per-module
+  facts extraction, call graph + taint resolution
+  (:class:`~repro.analysis.program.ProgramModel`), and the content-hash
+  incremental cache;
 * :mod:`repro.analysis.registry` — the rule base class and registry;
-* :mod:`repro.analysis.rules` — the repo-specific rules (layering,
-  filter purity, determinism, exception discipline, hot-path
-  allocation, float equality, annotation coverage, docstrings);
-* :mod:`repro.analysis.reporters` — text and JSON output;
+* :mod:`repro.analysis.rules` — the repo-specific rules: per-file
+  (layering, filter purity, determinism, exception discipline,
+  hot-path allocation, float equality, annotation coverage,
+  docstrings) and whole-program (fork-safety, determinism-taint,
+  budget-threading);
+* :mod:`repro.analysis.reporters` — text, JSON, and SARIF output;
 * ``python -m repro.analysis src/repro`` — the CI gate (exit 1 on any
   finding).
 
-See ``docs/STATIC_ANALYSIS.md`` for each rule's rationale and the
-dependency DAG the layering rule enforces.
+See ``docs/STATIC_ANALYSIS.md`` for each rule's rationale, the
+dependency DAG the layering rule enforces, and the program-analysis
+architecture.
 """
 
 from __future__ import annotations
 
 from repro.analysis.engine import Finding, ModuleInfo, run_analysis
+from repro.analysis.program import AnalysisCache, CacheStats, ProgramModel
 from repro.analysis.registry import Rule, all_rules, register
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.reporters import render_json, render_sarif, render_text
 
 __all__ = [
+    "AnalysisCache",
+    "CacheStats",
     "Finding",
     "ModuleInfo",
+    "ProgramModel",
     "Rule",
     "all_rules",
     "register",
     "render_json",
+    "render_sarif",
     "render_text",
     "run_analysis",
 ]

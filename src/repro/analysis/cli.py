@@ -1,21 +1,31 @@
 """Command line interface: ``python -m repro.analysis [paths]``.
 
 Exits 0 when the tree is clean, 1 when any finding survives
-suppressions — suitable as a CI gate (see ``.github/workflows/ci.yml``).
+suppressions, 2 on usage errors (including unknown rule ids passed to
+``--select``/``--ignore``) — suitable as a CI gate (see
+``.github/workflows/ci.yml``).
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Set
 
 from repro.analysis.engine import run_analysis
+from repro.analysis.program.cache import AnalysisCache
 from repro.analysis.registry import all_rules
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.reporters import render_json, render_sarif, render_text
 from repro.exceptions import ParameterError
 
 __all__ = ["main"]
+
+_RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+    "sarif": render_sarif,
+}
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -31,7 +41,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=tuple(_RENDERERS),
         default="text",
         help="report format (default: text)",
     )
@@ -42,11 +52,55 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to run (default: all)",
     )
     parser.add_argument(
+        "--ignore",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--exclude",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="file or directory to skip (repeatable)",
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="FILE",
+        help="incremental-cache file (created if missing)",
+    )
+    parser.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print cache hit/parse counters to stderr (needs --cache)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="list registered rules and exit",
     )
     return parser
+
+
+def _parse_rule_ids(
+    value: str, known: Set[str], parser: argparse.ArgumentParser, flag: str
+) -> Set[str]:
+    """The validated rule-id set named by a ``--select``/``--ignore`` value."""
+    ids = {token.strip() for token in value.split(",") if token.strip()}
+    unknown = ids - known
+    if unknown:
+        parser.error(
+            f"unknown rule id(s) for {flag}: {', '.join(sorted(unknown))}; "
+            f"valid ids: {', '.join(sorted(known))}"
+        )
+    return ids
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -61,17 +115,41 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{rule_id:<{width}}  {rules[rule_id].description}")
         return 0
 
+    selected = set(rules)
     if options.select is not None:
-        selected = {rule.strip() for rule in options.select.split(",") if rule.strip()}
-        unknown = selected - set(rules)
-        if unknown:
-            parser.error(f"unknown rule id(s): {', '.join(sorted(unknown))}")
-        rules = {rule_id: rules[rule_id] for rule_id in selected}
+        selected = _parse_rule_ids(
+            options.select, set(rules), parser, "--select"
+        )
+    if options.ignore is not None:
+        selected -= _parse_rule_ids(
+            options.ignore, set(rules), parser, "--ignore"
+        )
+    rules = {rule_id: rules[rule_id] for rule_id in selected}
 
+    cache = AnalysisCache(options.cache) if options.cache else None
     try:
-        findings = run_analysis([Path(p) for p in options.paths], rules)
+        findings = run_analysis(
+            [Path(p) for p in options.paths],
+            rules,
+            cache=cache,
+            exclude=[Path(p) for p in options.exclude],
+        )
     except ParameterError as exc:
         parser.error(str(exc))
-    renderer = render_json if options.format == "json" else render_text
-    print(renderer(findings))
+    if cache is not None:
+        cache.save()
+        if options.cache_stats:
+            stats = cache.stats.as_dict()
+            print(
+                "cache: "
+                + ", ".join(f"{k}={v}" for k, v in sorted(stats.items())),
+                file=sys.stderr,
+            )
+
+    report = _RENDERERS[options.format](findings)
+    if options.output is not None:
+        Path(options.output).write_text(report + "\n", encoding="utf-8")
+        print(f"{len(findings)} finding(s) written to {options.output}")
+    else:
+        print(report)
     return 1 if findings else 0

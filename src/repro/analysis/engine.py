@@ -1,16 +1,36 @@
 """Core of the repo-specific static-analysis pass.
 
-The engine walks Python files, parses them into ASTs, hands each module
-to every registered rule (:mod:`repro.analysis.registry`), and filters
-the resulting findings through per-line suppression comments:
+The engine runs in two phases plus a synthesis step:
 
-    ``# repro: ignore[RULE]``        suppress RULE on this line
-    ``# repro: ignore[R1, R2]``      suppress several rules
-    ``# repro: ignore``              suppress every rule on this line
+1. **Per-file phase.**  Every Python file is parsed once; each
+   ``scope == "module"`` rule checks the AST, and the whole-program
+   *facts* (:func:`repro.analysis.program.facts.extract_facts`) are
+   extracted.  With an :class:`~repro.analysis.program.AnalysisCache`,
+   a file whose content hash is unchanged skips all of this — facts and
+   raw findings replay from the cache without parsing.
+2. **Whole-program phase.**  The facts of every parsed file build one
+   :class:`~repro.analysis.program.ProgramModel`; each
+   ``scope == "program"`` rule checks it.  Cached under a key over all
+   modules' program-relevant facts, so e.g. a docstring edit re-parses
+   one file but reuses the whole-program results.
+3. **Report time.**  Raw findings are filtered through per-line
+   suppression comments (recorded in the facts, so this works for
+   cached files too), the rule selection is applied, and the
+   ``unused-suppression`` meta rule is synthesized from suppression
+   comments that caught nothing.
 
-Files that do not parse produce a single non-suppressible
-``syntax-error`` finding, so a broken file can never silently pass the
-gate.
+Suppression comments::
+
+    # repro: ignore[RULE]        suppress RULE on this line
+    # repro: ignore[R1, R2]      suppress several rules
+    # repro: ignore              suppress every rule on this line
+
+Raw findings are computed for **all** registered rules regardless of
+``--select``/``--ignore`` so that the unused-suppression verdict (and
+the cache contents) never depend on the selection; selection is a pure
+report-time filter.  Files that do not parse produce a single
+non-suppressible ``syntax-error`` finding, so a broken file can never
+silently pass the gate.
 """
 
 from __future__ import annotations
@@ -90,17 +110,36 @@ def module_name(path: Path) -> str:
     return ".".join(parts) if parts else path.stem
 
 
-def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
-    """Yield every ``.py`` file under ``paths`` in sorted order."""
+def iter_python_files(
+    paths: Sequence[Path], exclude: Sequence[Path] = ()
+) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths`` in sorted order.
+
+    ``exclude`` lists files or directories to skip (matched on resolved
+    paths, so ``--exclude tests/fixtures`` prunes the whole subtree).
+    """
+    excluded = [Path(entry).resolve() for entry in exclude]
+
+    def is_excluded(candidate: Path) -> bool:
+        if not excluded:
+            return False
+        resolved = candidate.resolve()
+        return any(
+            resolved == entry or entry in resolved.parents
+            for entry in excluded
+        )
+
     for root in paths:
         if root.is_file():
-            if root.suffix == ".py":
+            if root.suffix == ".py" and not is_excluded(root):
                 yield root
             continue
         if not root.is_dir():
             raise ParameterError(f"no such file or directory: {root}")
         for candidate in sorted(root.rglob("*.py")):
             if "__pycache__" in candidate.parts:
+                continue
+            if is_excluded(candidate):
                 continue
             yield candidate
 
@@ -118,59 +157,169 @@ def load_module(path: Path) -> ModuleInfo:
     )
 
 
-def _suppressed_rules(line: str) -> Optional[FrozenSet[str]]:
-    """Rules suppressed by ``line``'s comment; ``None`` means "none"."""
-    match = _IGNORE_RE.search(line)
-    if match is None:
-        return None
-    listed = match.group(1)
-    if listed is None:
-        return frozenset()  # blanket: suppress everything
-    return frozenset(rule.strip() for rule in listed.split(",") if rule.strip())
+def _per_file_pass(path: Path, module_rules: Sequence[object]):
+    """Parse one file: ``(facts | None, raw findings per rule id)``."""
+    from repro.analysis.program.facts import extract_facts
 
-
-def _is_suppressed(finding: Finding, module: ModuleInfo) -> bool:
-    if finding.rule == "syntax-error":
-        return False
-    if not 1 <= finding.line <= len(module.lines):
-        return False
-    rules = _suppressed_rules(module.lines[finding.line - 1])
-    if rules is None:
-        return False
-    return not rules or finding.rule in rules
+    try:
+        module = load_module(path)
+    except SyntaxError as error:
+        return None, {
+            "syntax-error": [
+                [error.lineno or 1, f"file does not parse: {error.msg}"]
+            ]
+        }
+    findings = {
+        rule.id: sorted(  # type: ignore[attr-defined]
+            [finding.line, finding.message]
+            for finding in rule.check(module)  # type: ignore[attr-defined]
+        )
+        for rule in module_rules
+    }
+    return extract_facts(module), findings
 
 
 def run_analysis(
     paths: Sequence[Path],
     rules: Optional[Dict[str, object]] = None,
+    cache: Optional[object] = None,
+    exclude: Sequence[Path] = (),
 ) -> List[Finding]:
-    """Run ``rules`` (default: all registered) over ``paths``.
+    """Run the two-phase analysis over ``paths``.
 
-    Returns the surviving findings sorted by location.  Rules are
-    instances exposing ``check(module) -> Iterator[Finding]`` (see
-    :class:`repro.analysis.registry.Rule`).
+    ``rules`` (default: everything registered) is the report-time
+    *selection*: all registered rules always run — so suppression-usage
+    tracking and the cache are selection-independent — and only
+    findings of selected rules (plus ``syntax-error``) are returned.
+    ``cache`` is an optional
+    :class:`repro.analysis.program.AnalysisCache`; its ``stats`` record
+    what this run reused.  Returns surviving findings sorted by
+    location.
     """
-    if rules is None:
-        from repro.analysis.registry import all_rules
+    from repro.analysis.program.cache import file_sha, program_key, rules_key
+    from repro.analysis.program.callgraph import ProgramModel
+    from repro.analysis.registry import all_rules
 
-        rules = all_rules()
-    findings: List[Finding] = []
-    for path in iter_python_files(paths):
-        try:
-            module = load_module(path)
-        except SyntaxError as error:
-            findings.append(
+    registry = all_rules()
+    selected_ids = set(registry if rules is None else rules)
+    module_rules = [r for r in registry.values() if r.scope == "module"]
+    program_rules = sorted(
+        (r for r in registry.values() if r.scope == "program"),
+        key=lambda rule: rule.id,
+    )
+    if cache is not None:
+        cache.begin_run(rules_key(registry))
+
+    # Phase 1: per-file rules + facts extraction (cache-aware).
+    facts_by_path: Dict[str, Optional[dict]] = {}
+    raw_findings: List[Finding] = []
+    for path in iter_python_files(paths, exclude=exclude):
+        path_str = str(path)
+        entry = None
+        sha = None
+        if cache is not None:
+            sha = file_sha(path)
+            cache.stats.files_seen += 1
+            entry = cache.lookup_file(path_str, sha)
+        if entry is not None:
+            cache.stats.reused_files += 1
+            facts = entry["facts"]
+            findings_map = entry["findings"]
+        else:
+            facts, findings_map = _per_file_pass(path, module_rules)
+            if cache is not None:
+                cache.stats.parsed_files += 1
+                cache.store_file(path_str, sha, facts, findings_map)
+        facts_by_path[path_str] = facts
+        for rule_id, entries in findings_map.items():
+            for line, message in entries:
+                raw_findings.append(
+                    Finding(
+                        path=path_str,
+                        line=int(line),
+                        rule=rule_id,
+                        message=message,
+                    )
+                )
+
+    # Phase 2: whole-program rules over the combined facts (cache-aware).
+    program_facts = [f for f in facts_by_path.values() if f is not None]
+    if program_rules and program_facts:
+        key = program_key(program_facts)
+        cached = cache.lookup_program(key) if cache is not None else None
+        if cached is not None:
+            cache.stats.program_reused += 1
+            rows = cached
+        else:
+            model = ProgramModel(program_facts)
+            rows = [
+                [finding.path, finding.line, finding.rule, finding.message]
+                for rule in program_rules
+                for finding in rule.check_program(model)
+            ]
+            if cache is not None:
+                cache.stats.program_runs += 1
+                cache.store_program(key, rows)
+        for row_path, line, rule_id, message in rows:
+            raw_findings.append(
                 Finding(
-                    path=str(path),
-                    line=error.lineno or 1,
-                    rule="syntax-error",
-                    message=f"file does not parse: {error.msg}",
+                    path=row_path, line=int(line), rule=rule_id, message=message
                 )
             )
+
+    # Report time: suppressions, selection, unused-suppression synthesis.
+    suppressions: Dict[str, Dict[int, Optional[FrozenSet[str]]]] = {}
+    for path_str, facts in facts_by_path.items():
+        if facts is None:
             continue
-        for rule in rules.values():
-            for finding in rule.check(module):  # type: ignore[attr-defined]
-                if not _is_suppressed(finding, module):
-                    findings.append(finding)
-    findings.sort()
-    return findings
+        suppressions[path_str] = {
+            int(line): None if ids is None else frozenset(ids)
+            for line, ids in facts["suppressions"].items()
+        }
+
+    used: set = set()
+    final: List[Finding] = []
+
+    def admit(finding: Finding) -> None:
+        if finding.rule != "syntax-error":
+            by_line = suppressions.get(finding.path, {})
+            if finding.line in by_line:
+                ids = by_line[finding.line]
+                if ids is None or finding.rule in ids:
+                    used.add((finding.path, finding.line))
+                    return
+        if finding.rule == "syntax-error" or finding.rule in selected_ids:
+            final.append(finding)
+
+    for finding in raw_findings:
+        admit(finding)
+
+    if "unused-suppression" in selected_ids:
+        for path_str in sorted(suppressions):
+            for line in sorted(suppressions[path_str]):
+                if (path_str, line) in used:
+                    continue
+                ids = suppressions[path_str][line]
+                # Only an *explicit* entry may waive this rule about its
+                # own line — a blanket ignore must not self-excuse.
+                if ids is not None and "unused-suppression" in ids:
+                    continue
+                label = (
+                    "blanket # repro: ignore"
+                    if ids is None
+                    else "# repro: ignore[" + ", ".join(sorted(ids)) + "]"
+                )
+                final.append(
+                    Finding(
+                        path=path_str,
+                        line=line,
+                        rule="unused-suppression",
+                        message=(
+                            f"{label} suppresses no finding — remove the "
+                            "stale waiver"
+                        ),
+                    )
+                )
+
+    final.sort()
+    return final

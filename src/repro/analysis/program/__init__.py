@@ -1,0 +1,44 @@
+"""Whole-program analysis layer for :mod:`repro.analysis`.
+
+Three pieces, consumed by the engine's two-phase driver:
+
+* :mod:`~repro.analysis.program.facts` +
+  :mod:`~repro.analysis.program.dataflow` — per-module extraction of a
+  serializable facts IR (symbol table, call sites, shared-state writes,
+  taint atoms) via a small forward dataflow interpreter.
+* :mod:`~repro.analysis.program.callgraph` — :class:`ProgramModel`,
+  linking the per-module facts into a conservative call graph with
+  worker/entry roots, reachability, and whole-program taint resolution.
+* :mod:`~repro.analysis.program.cache` — the content-hash incremental
+  cache keyed so unchanged files skip parsing entirely and whole-program
+  rules re-run only when some module's program-relevant facts change.
+"""
+
+from repro.analysis.program.cache import (
+    AnalysisCache,
+    CacheStats,
+    file_sha,
+    program_hash,
+    program_key,
+    rules_key,
+)
+from repro.analysis.program.callgraph import (
+    ENTRY_POINT_SUFFIXES,
+    VERIFIER_NAMES,
+    ProgramModel,
+)
+from repro.analysis.program.facts import ModuleContext, extract_facts
+
+__all__ = [
+    "AnalysisCache",
+    "CacheStats",
+    "ENTRY_POINT_SUFFIXES",
+    "ModuleContext",
+    "ProgramModel",
+    "VERIFIER_NAMES",
+    "extract_facts",
+    "file_sha",
+    "program_hash",
+    "program_key",
+    "rules_key",
+]

@@ -1,0 +1,188 @@
+"""Content-hash incremental cache for the analysis engine.
+
+The cache stores, per analyzed file, the SHA-256 of its bytes, the
+extracted whole-program *facts*, and the **raw** (pre-suppression)
+findings of every per-file rule.  On a later run an unchanged file is
+served entirely from the cache — no read of the AST, no re-parse, no
+rule execution — which :class:`CacheStats` makes observable
+(``parsed_files == 0`` on a warm, unchanged tree).
+
+Whole-program results are cached separately under a *program key*: a
+hash over every module's :func:`program_hash`, which in turn covers the
+program-relevant slice of its facts — **excluding** the suppression
+map.  Two consequences, both deliberate:
+
+* Editing one file invalidates exactly that file's per-file entry; the
+  program phase re-runs only if the edit changed the file's
+  program-relevant facts (a docstring or comment tweak re-parses one
+  file but reuses the cached whole-program findings).
+* Adding or removing a ``# repro: ignore[...]`` waiver never re-runs
+  any rule: raw findings are cached and suppression is applied at
+  report time by the engine.
+
+A ``rules_key`` header (hash of the registered rule ids and the schema
+version) guards against stale results when the rule set itself changes;
+a mismatch drops the whole cache.  The on-disk form is a single JSON
+document written atomically (temp file + rename).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Union
+
+__all__ = [
+    "AnalysisCache",
+    "CacheStats",
+    "file_sha",
+    "program_hash",
+    "program_key",
+]
+
+#: Bump when the facts IR or cached-finding layout changes shape.
+CACHE_SCHEMA_VERSION = 1
+
+
+def file_sha(path: Union[str, Path]) -> str:
+    """SHA-256 hex digest of a file's bytes."""
+    return hashlib.sha256(Path(path).read_bytes()).hexdigest()
+
+
+def _canonical(payload: object) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def program_hash(facts: dict) -> str:
+    """Hash of one module's program-relevant facts.
+
+    Suppressions are excluded on purpose: they only affect report-time
+    filtering, never what the whole-program rules compute.
+    """
+    relevant = {k: v for k, v in facts.items() if k != "suppressions"}
+    return hashlib.sha256(_canonical(relevant).encode()).hexdigest()
+
+
+def program_key(facts_list: Iterable[dict]) -> str:
+    """Cache key for a whole-program run over ``facts_list``."""
+    entries = sorted(
+        (facts["module"], program_hash(facts)) for facts in facts_list
+    )
+    return hashlib.sha256(_canonical(entries).encode()).hexdigest()
+
+
+def rules_key(rule_ids: Iterable[str]) -> str:
+    """Cache header key derived from the registered rule ids."""
+    payload = f"v{CACHE_SCHEMA_VERSION}:" + ",".join(sorted(rule_ids))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Counters describing what one :func:`run_analysis` pass did."""
+
+    files_seen: int = 0
+    parsed_files: int = 0
+    reused_files: int = 0
+    program_runs: int = 0
+    program_reused: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict form for reports and tests."""
+        return {
+            "files_seen": self.files_seen,
+            "parsed_files": self.parsed_files,
+            "reused_files": self.reused_files,
+            "program_runs": self.program_runs,
+            "program_reused": self.program_reused,
+        }
+
+
+class AnalysisCache:
+    """JSON-backed (or in-memory, when ``path=None``) analysis cache."""
+
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+        """Load the cache at ``path`` if it exists and is compatible."""
+        self.path = Path(path) if path is not None else None
+        self.stats = CacheStats()
+        self._data = self._empty()
+        if self.path is not None and self.path.exists():
+            try:
+                loaded = json.loads(self.path.read_text())
+            except (OSError, ValueError):
+                loaded = None
+            if (
+                isinstance(loaded, dict)
+                and loaded.get("version") == CACHE_SCHEMA_VERSION
+            ):
+                self._data = loaded
+
+    @staticmethod
+    def _empty() -> dict:
+        return {
+            "version": CACHE_SCHEMA_VERSION,
+            "rules_key": None,
+            "files": {},
+            "program": {},
+        }
+
+    def begin_run(self, key: str) -> None:
+        """Reset stats; drop everything if the rule set changed."""
+        self.stats = CacheStats()
+        if self._data.get("rules_key") != key:
+            self._data = self._empty()
+            self._data["rules_key"] = key
+
+    # --- per-file entries -------------------------------------------------
+
+    def lookup_file(self, path: str, sha: str) -> Optional[dict]:
+        """The cached entry for ``path`` if its content hash matches."""
+        entry = self._data["files"].get(path)
+        if entry is not None and entry.get("sha") == sha:
+            return entry
+        return None
+
+    def store_file(
+        self,
+        path: str,
+        sha: str,
+        facts: Optional[dict],
+        findings: Dict[str, list],
+    ) -> None:
+        """Record one parsed file's facts and raw per-rule findings."""
+        self._data["files"][path] = {
+            "sha": sha,
+            "facts": facts,
+            "findings": findings,
+        }
+
+    def prune(self, live_paths: Iterable[str]) -> None:
+        """Drop entries for files no longer part of the analyzed set."""
+        live = set(live_paths)
+        files = self._data["files"]
+        for path in [p for p in files if p not in live]:
+            del files[p]
+
+    # --- whole-program entries --------------------------------------------
+
+    def lookup_program(self, key: str) -> Optional[list]:
+        """Cached raw program findings for ``key``, or ``None``."""
+        return self._data["program"].get(key)
+
+    def store_program(self, key: str, findings: list) -> None:
+        """Record the raw program findings for ``key`` (latest only)."""
+        self._data["program"] = {key: findings}
+
+    # --- persistence ------------------------------------------------------
+
+    def save(self) -> None:
+        """Atomically write the cache back to disk (no-op when in-memory)."""
+        if self.path is None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(json.dumps(self._data, sort_keys=True))
+        os.replace(tmp, self.path)

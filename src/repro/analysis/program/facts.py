@@ -1,0 +1,312 @@
+"""Per-module fact extraction for the whole-program phase.
+
+:func:`extract_facts` turns one parsed
+:class:`~repro.analysis.engine.ModuleInfo` into a plain-JSON *facts*
+dict — the only thing the whole-program rules (and the incremental
+cache) ever see.  No AST survives past this function, which is what
+lets the cache skip parsing entirely for unchanged files: the facts are
+serialized verbatim and fed straight back into
+:class:`~repro.analysis.program.callgraph.ProgramModel` on the next run.
+
+A facts dict holds:
+
+* ``module`` / ``path`` / ``is_package`` — identity.
+* ``functions`` — ``qual -> function facts`` produced by
+  :class:`~repro.analysis.program.dataflow.FunctionAnalyzer` for every
+  module-level function and every method (one class level deep, plus
+  definitions nested under module-level ``if``/``try`` blocks).
+* ``classes`` — ``ClassName -> sorted method names``.
+* ``module_level_names`` — names bound at module scope (the set the
+  dataflow pass consults to classify subscript/attribute stores as
+  writes to shared module state).
+* ``suppressions`` — ``str(line) -> None | [rule ids]`` for every
+  ``# repro: ignore[...]`` comment (``None`` means a blanket ignore).
+  Kept *outside* the program hash so editing a waiver never invalidates
+  cached whole-program results — suppression is applied at report time.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import tokenize
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.engine import _IGNORE_RE, ModuleInfo
+from repro.analysis.program.dataflow import FunctionAnalyzer
+
+__all__ = ["ModuleContext", "extract_facts", "UNPICKLABLE_FACTORIES"]
+
+#: Module-level bindings of these constructors are unpicklable handles a
+#: pool worker must not capture (description used in the finding text).
+UNPICKLABLE_FACTORIES: Dict[str, str] = {
+    "open": "open file handle",
+    "Lock": "threading lock",
+    "RLock": "threading lock",
+    "Condition": "threading condition",
+    "Semaphore": "threading semaphore",
+    "BoundedSemaphore": "threading semaphore",
+    "Event": "threading event",
+    "Barrier": "threading barrier",
+    "socket": "socket",
+    "connect": "database connection",
+    "TextIOWrapper": "open file handle",
+}
+
+_SET_FACTORIES = frozenset({"set", "frozenset"})
+
+
+def _last(dotted: str) -> str:
+    return dotted.rsplit(".", 1)[-1]
+
+
+class ModuleContext:
+    """Module-scope symbol table shared by every function's analyzer.
+
+    Classifies every module-level binding (imports, defs, classes,
+    assignments) so :class:`FunctionAnalyzer` can resolve call targets,
+    recognize writes to module state, and spot captures of module-level
+    sets and unpicklable handles.
+    """
+
+    def __init__(self, module: ModuleInfo) -> None:
+        """Index every module-scope binding of ``module``."""
+        self.module = module.module
+        self.path = str(module.path)
+        self.imports: Dict[str, str] = {}
+        self.module_level_names: Set[str] = set()
+        self.module_sets: Set[str] = set()
+        self.module_unpicklable: Dict[str, str] = {}
+        self.function_names: Set[str] = set()
+        self.class_methods: Dict[str, List[str]] = {}
+        self._package = self._package_of(module)
+        self._scan(module.tree)
+
+    def _package_of(self, module: ModuleInfo) -> str:
+        if module.is_package:
+            return module.module
+        return module.module.rpartition(".")[0]
+
+    # --- module-scope scan ----------------------------------------------
+
+    def _scan(self, tree: ast.Module) -> None:
+        for stmt in self._top_level(tree.body):
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else bound
+                    self.imports[bound] = target
+                    self.module_level_names.add(bound)
+            elif isinstance(stmt, ast.ImportFrom):
+                base = self._import_base(stmt)
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    self.imports[bound] = (
+                        f"{base}.{alias.name}" if base else alias.name
+                    )
+                    self.module_level_names.add(bound)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.function_names.add(stmt.name)
+                self.module_level_names.add(stmt.name)
+            elif isinstance(stmt, ast.ClassDef):
+                self.class_methods[stmt.name] = sorted(
+                    child.name
+                    for child in stmt.body
+                    if isinstance(
+                        child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    )
+                )
+                self.module_level_names.add(stmt.name)
+            elif isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                self._scan_assignment(stmt)
+
+    def _top_level(self, body: List[ast.stmt]) -> Iterator[ast.stmt]:
+        """Module-level statements, descending into ``if``/``try`` arms."""
+        for stmt in body:
+            if isinstance(stmt, ast.If):
+                yield from self._top_level(stmt.body)
+                yield from self._top_level(stmt.orelse)
+            elif isinstance(stmt, ast.Try):
+                yield from self._top_level(stmt.body)
+                for handler in stmt.handlers:
+                    yield from self._top_level(handler.body)
+                yield from self._top_level(stmt.orelse)
+                yield from self._top_level(stmt.finalbody)
+            else:
+                yield stmt
+
+    def _import_base(self, stmt: ast.ImportFrom) -> str:
+        if stmt.level == 0:
+            return stmt.module or ""
+        parts = self._package.split(".") if self._package else []
+        if stmt.level > 1:
+            parts = parts[: len(parts) - (stmt.level - 1)]
+        if stmt.module:
+            parts.append(stmt.module)
+        return ".".join(parts)
+
+    def _scan_assignment(self, stmt: ast.stmt) -> None:
+        targets: List[ast.expr]
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+            value: Optional[ast.expr] = stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            targets = [stmt.target]
+            value = stmt.value
+        else:  # AugAssign
+            targets = [stmt.target]
+            value = None
+        names: List[str] = []
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.append(target.id)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    if isinstance(element, ast.Name):
+                        names.append(element.id)
+        self.module_level_names.update(names)
+        if value is None or not names:
+            return
+        if self._is_set_expr(value):
+            self.module_sets.update(names)
+        unpicklable = self._unpicklable_kind(value)
+        if unpicklable is not None:
+            for name in names:
+                self.module_unpicklable[name] = unpicklable
+
+    def _is_set_expr(self, value: ast.expr) -> bool:
+        if isinstance(value, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+            return value.func.id in _SET_FACTORIES
+        return False
+
+    def _unpicklable_kind(self, value: ast.expr) -> Optional[str]:
+        if isinstance(value, ast.Lambda):
+            return "lambda"
+        if not isinstance(value, ast.Call):
+            return None
+        func = value.func
+        name = ""
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        return UNPICKLABLE_FACTORIES.get(name)
+
+    # --- resolution -------------------------------------------------------
+
+    def resolve_name(self, name: str) -> Optional[str]:
+        """Dotted target of a bare module-scope ``name``, if known."""
+        if name in self.function_names or name in self.class_methods:
+            return f"{self.module}.{name}"
+        return self.imports.get(name)
+
+    def resolve_dotted(self, dotted: str) -> Optional[str]:
+        """Dotted target of an ``a.b.c`` reference rooted in this module."""
+        first, _, rest = dotted.partition(".")
+        if not rest:
+            return self.resolve_name(dotted)
+        if first in self.class_methods:
+            return f"{self.module}.{dotted}"
+        if first in self.imports:
+            return f"{self.imports[first]}.{rest}"
+        return None
+
+    def resolve_class(self, name: str) -> Optional[str]:
+        """Dotted class reference for ``name``, or ``None``.
+
+        Local classes resolve directly; imported names count only when
+        capitalized (the codebase convention) and not from ``typing``,
+        so ``Optional``/``Dict`` annotation wrappers never win over the
+        real class name next to them.
+        """
+        if name in self.class_methods:
+            return f"{self.module}.{name}"
+        target = self.imports.get(name)
+        if (
+            target is not None
+            and name[:1].isupper()
+            and not target.startswith("typing.")
+        ):
+            return target
+        return None
+
+
+def _function_nodes(
+    tree: ast.Module,
+) -> Iterator[Tuple[ast.AST, str]]:
+    """Every analyzable ``(def node, enclosing class)`` pair, in order."""
+    def walk(body: List[ast.stmt], cls: str) -> Iterator[Tuple[ast.AST, str]]:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield stmt, cls
+            elif isinstance(stmt, ast.ClassDef) and not cls:
+                yield from walk(stmt.body, stmt.name)
+            elif isinstance(stmt, ast.If):
+                yield from walk(stmt.body, cls)
+                yield from walk(stmt.orelse, cls)
+            elif isinstance(stmt, ast.Try):
+                yield from walk(stmt.body, cls)
+                for handler in stmt.handlers:
+                    yield from walk(handler.body, cls)
+                yield from walk(stmt.orelse, cls)
+                yield from walk(stmt.finalbody, cls)
+
+    yield from walk(tree.body, "")
+
+
+def _suppression_map(lines: List[str]) -> Dict[str, Optional[List[str]]]:
+    """``str(line) -> None | [ids]`` for every real ignore *comment*.
+
+    Tokenizing (rather than regexing raw lines) keeps mentions of the
+    suppression syntax inside docstrings and string literals — e.g. the
+    engine documenting its own comment format — from registering as
+    suppressions, which would both suppress findings spuriously and
+    drown ``unused-suppression`` in false positives.
+    """
+    out: Dict[str, Optional[List[str]]] = {}
+    reader = io.StringIO("\n".join(lines) + "\n").readline
+    try:
+        tokens = list(tokenize.generate_tokens(reader))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return out  # unreachable for files that parsed, but stay safe
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _IGNORE_RE.search(token.string)
+        if match is None:
+            continue
+        # Comments *documenting* the waiver syntax quote it in backticks
+        # (or quotes); those mentions are prose, not suppressions.
+        if match.start() > 0 and token.string[match.start() - 1] in "`'\"":
+            continue
+        raw = match.group(1)
+        if raw is None or not raw.strip():
+            out[str(token.start[0])] = None  # blanket
+        else:
+            out[str(token.start[0])] = sorted(
+                {part.strip() for part in raw.split(",") if part.strip()}
+            )
+    return out
+
+
+def extract_facts(module: ModuleInfo) -> dict:
+    """The serializable whole-program facts for one parsed module."""
+    ctx = ModuleContext(module)
+    functions: Dict[str, dict] = {}
+    for node, cls in _function_nodes(module.tree):
+        analyzer = FunctionAnalyzer(ctx, node, cls)
+        facts = analyzer.run()
+        functions[facts["qual"]] = facts
+    return {
+        "module": ctx.module,
+        "path": ctx.path,
+        "is_package": module.is_package,
+        "functions": functions,
+        "classes": dict(sorted(ctx.class_methods.items())),
+        "module_level_names": sorted(ctx.module_level_names),
+        "suppressions": _suppression_map(module.lines),
+    }

@@ -18,13 +18,31 @@ __all__ = ["Rule", "register", "all_rules"]
 
 
 class Rule:
-    """Base class for repo-specific static-analysis rules."""
+    """Base class for repo-specific static-analysis rules.
+
+    ``scope`` selects the phase the engine runs the rule in:
+
+    * ``"module"`` — the classic per-file phase; ``check(module)`` is
+      called once per parsed :class:`~repro.analysis.engine.ModuleInfo`.
+    * ``"program"`` — the whole-program phase; ``check_program(model)``
+      is called once with the :class:`repro.analysis.program.ProgramModel`
+      built from every analysed file's facts.
+    * ``"meta"`` — rules the engine itself synthesizes from the other
+      phases' raw output (currently only ``unused-suppression``); the
+      class exists so the rule is listable, selectable and ignorable,
+      but neither ``check`` hook is invoked.
+    """
 
     id: str = ""
     description: str = ""
+    scope: str = "module"
 
     def check(self, module: ModuleInfo) -> Iterator[Finding]:
         """Yield every violation of this rule in ``module``."""
+        raise NotImplementedError
+
+    def check_program(self, model: object) -> Iterator[Finding]:
+        """Yield every violation over a whole :class:`ProgramModel`."""
         raise NotImplementedError
 
     def finding(self, module: ModuleInfo, line: int, message: str) -> Finding:

@@ -1,13 +1,20 @@
-"""Finding reporters: plain text for humans/CI logs, JSON for tooling."""
+"""Finding reporters: text for humans/CI logs, JSON and SARIF for tools."""
 
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.engine import Finding
 
-__all__ = ["render_text", "render_json"]
+__all__ = ["render_text", "render_json", "render_sarif"]
+
+#: Published schema location stamped into every SARIF report.
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def render_text(findings: Sequence[Finding]) -> str:
@@ -40,3 +47,69 @@ def render_json(findings: Sequence[Finding]) -> str:
         ],
         indent=2,
     )
+
+
+def render_sarif(
+    findings: Sequence[Finding], rules: Optional[Dict[str, object]] = None
+) -> str:
+    """A SARIF 2.1.0 document for CI/code-review annotation.
+
+    Every registered rule appears in the tool's rule table (so a clean
+    run still documents what was checked); ``syntax-error`` — which is
+    synthesized by the engine rather than registered — is appended with
+    level ``error``, all other findings report as ``warning``.
+    """
+    if rules is None:
+        from repro.analysis.registry import all_rules
+
+        rules = all_rules()
+    descriptions = {
+        rule_id: rule.description  # type: ignore[attr-defined]
+        for rule_id, rule in rules.items()
+    }
+    descriptions.setdefault("syntax-error", "file does not parse")
+    rule_ids = sorted(set(descriptions) | {f.rule for f in findings})
+    rule_index = {rule_id: index for index, rule_id in enumerate(rule_ids)}
+    results = [
+        {
+            "ruleId": finding.rule,
+            "ruleIndex": rule_index[finding.rule],
+            "level": "error" if finding.rule == "syntax-error" else "warning",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": Path(finding.path).as_posix()
+                        },
+                        "region": {"startLine": max(1, finding.line)},
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    document = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analysis",
+                        "rules": [
+                            {
+                                "id": rule_id,
+                                "shortDescription": {
+                                    "text": descriptions.get(rule_id, rule_id)
+                                },
+                            }
+                            for rule_id in rule_ids
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2)

@@ -11,21 +11,29 @@ self-referential ``from``-import and silently skip its registration.)
 """
 
 import repro.analysis.rules.annotations  # noqa: F401
+import repro.analysis.rules.budget_threading  # noqa: F401
 import repro.analysis.rules.determinism  # noqa: F401
+import repro.analysis.rules.determinism_taint  # noqa: F401
 import repro.analysis.rules.docstrings  # noqa: F401
 import repro.analysis.rules.exception_discipline  # noqa: F401
 import repro.analysis.rules.float_equality  # noqa: F401
+import repro.analysis.rules.fork_safety  # noqa: F401
 import repro.analysis.rules.hot_path  # noqa: F401
 import repro.analysis.rules.layering  # noqa: F401
 import repro.analysis.rules.purity  # noqa: F401
+import repro.analysis.rules.unused_suppression  # noqa: F401
 
 __all__ = [
     "annotations",
+    "budget_threading",
     "determinism",
+    "determinism_taint",
     "docstrings",
     "exception_discipline",
     "float_equality",
+    "fork_safety",
     "hot_path",
     "layering",
     "purity",
+    "unused_suppression",
 ]

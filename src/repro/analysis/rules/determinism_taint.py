@@ -1,0 +1,94 @@
+"""``determinism-taint``: unordered values must not reach ordered sinks.
+
+The join's reproducibility contract (bit-identical results across runs,
+and across a kill-and-resume via the checkpoint journal) requires that
+nothing whose value or order depends on Python's unordered containers
+flows into result accumulation, stage statistics, or journal writes.
+
+The per-module dataflow pass marks the unordered *sources* — iterating
+a ``set``/``frozenset``, materializing one without ``sorted`` (via
+``list``/``tuple``/``iter``), ``set.pop()``, ``id()``, unsalted
+``hash()`` — and the ordering-sensitive *sinks* — ``.append``/
+``.extend`` onto ``pairs``/``undecided`` accumulators, journal writes,
+and ``StageStatistics`` construction or field stores.  Passing through
+a sanctioned ordering or order-insensitive function (``sorted``,
+``min``, ``max``, ``len``, ``sum``, ``any``, ``all``) clears the taint.
+
+This rule asks the :class:`~repro.analysis.program.ProgramModel` to
+resolve each sink's atoms whole-program — chasing values through
+function returns and parameters across modules — and reports every sink
+provably downstream of an unordered source.
+
+Plain ``dict`` iteration is deliberately **not** a source: CPython
+guarantees insertion order (3.7+), and the engine builds its candidate
+dicts in deterministic scan order, so treating dicts as unordered would
+only manufacture noise.  The rule targets the containers that actually
+reorder between runs: sets, and identity-derived integers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.engine import Finding
+from repro.analysis.registry import Rule, register
+
+__all__ = ["DeterminismTaintRule"]
+
+_SOURCE_LABEL = {
+    "set-iter": "iteration over a set",
+    "set-order": "unsorted materialization of a set",
+    "set-pop": "set.pop()",
+    "id": "id()",
+    "hash": "unsalted hash()",
+}
+
+_SINK_LABEL = {
+    "result-accumulation": "result accumulation",
+    "journal-write": "checkpoint-journal write",
+    "stage-statistics": "StageStatistics",
+}
+
+
+@register
+class DeterminismTaintRule(Rule):
+    """Flag unordered-source values reaching ordering-sensitive sinks."""
+
+    id = "determinism-taint"
+    description = (
+        "values from unordered iteration (sets, id()/hash()) must pass "
+        "through an ordering function before reaching results, "
+        "statistics, or the journal"
+    )
+    scope = "program"
+
+    def check_program(self, model) -> Iterator[Finding]:
+        """Report every sink whose atoms resolve to an unordered source."""
+        for qual in sorted(model.functions):
+            fn = model.functions[qual]
+            for sink in fn["sinks"]:
+                evidence = None
+                for atom in sink["atoms"]:
+                    evidence = model.atom_evidence(tuple(atom), qual)
+                    if evidence is not None:
+                        break
+                if evidence is None:
+                    continue
+                kind, source_module, source_line = evidence
+                source = _SOURCE_LABEL.get(kind, kind)
+                where = (
+                    f"line {source_line}"
+                    if source_module == model.function_module[qual]["module"]
+                    else f"{source_module}:{source_line}"
+                )
+                yield Finding(
+                    path=model.path_of(qual),
+                    line=sink["line"],
+                    rule=self.id,
+                    message=(
+                        f"value derived from {source} ({where}) reaches "
+                        f"{_SINK_LABEL.get(sink['label'], sink['label'])} "
+                        "sink without an ordering function "
+                        "(sorted/min/max)"
+                    ),
+                )

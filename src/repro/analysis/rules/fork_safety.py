@@ -1,0 +1,79 @@
+"""``fork-safety``: race detector for process-pool worker code.
+
+The parallel join ships work to ``ProcessPoolExecutor`` workers.  A
+worker process gets a copy-on-write snapshot of the parent; any state a
+worker-reachable function writes at module level (or into an enclosing
+scope, or into its own mutable default arguments) mutates only that
+worker's copy — silently diverging from the parent and from every other
+worker.  Captured module-level handles that cannot pickle (open files,
+locks, sockets, database connections, lambdas) are the same hazard in a
+different coat: they either fail to transfer or transfer as dead
+objects.
+
+This rule walks the conservative call graph from every structurally
+discovered worker root — the function handed to ``executor.submit``,
+the pool ``map``/``imap``/``apply_async`` families, a pool's
+``initializer=``, a ``Process(target=...)`` — and reports every
+shared-state write reachable from one.
+
+One sanctioned exception: a pool *initializer*'s own writes to module
+globals are exactly how per-process state is supposed to be installed
+(that is the initializer's entire job), so those are exempt.  Functions
+the initializer merely calls, and every other write kind, stay flagged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Set, Tuple
+
+from repro.analysis.engine import Finding
+from repro.analysis.registry import Rule, register
+
+__all__ = ["ForkSafetyRule"]
+
+
+def _short(qual: str) -> str:
+    """``module.Class.method`` -> ``Class.method``; plain name otherwise."""
+    parts = qual.split(".")
+    return ".".join(parts[-2:]) if parts[-1] == "__init__" else parts[-1]
+
+
+@register
+class ForkSafetyRule(Rule):
+    """Flag shared-state writes reachable from process-pool workers."""
+
+    id = "fork-safety"
+    description = (
+        "functions reachable from a process-pool worker must not write "
+        "module/global state, mutate default args, or capture "
+        "unpicklable objects"
+    )
+    scope = "program"
+
+    def check_program(self, model) -> Iterator[Finding]:
+        """Report every hazardous write in the worker-reachable slice."""
+        seen: Set[Tuple[str, int, str, str]] = set()
+        for root in sorted(model.worker_roots):
+            for qual in sorted(model.reachable({root})):
+                fn = model.functions[qual]
+                exempt_globals = qual in model.initializers
+                for write in fn["writes"]:
+                    kind = write["kind"]
+                    if exempt_globals and kind.startswith("global"):
+                        continue
+                    path = model.path_of(qual)
+                    key = (path, write["line"], write["name"], kind)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    yield Finding(
+                        path=path,
+                        line=write["line"],
+                        rule=self.id,
+                        message=(
+                            f"'{_short(qual)}' is reachable from "
+                            f"process-pool worker '{_short(root)}' and "
+                            f"is not fork-safe: {write['detail']} "
+                            f"('{write['name']}')"
+                        ),
+                    )

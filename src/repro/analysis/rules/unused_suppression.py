@@ -1,0 +1,43 @@
+"""``unused-suppression``: waivers must keep earning their keep.
+
+A ``# repro: ignore[...]`` comment that no longer suppresses any
+finding is a rotten waiver: the code it excused has been fixed or
+rewritten, and the comment now only grants a blanket pardon to whatever
+lands on that line next.  This rule reports every suppression comment
+that suppressed nothing in the current run, so stale waivers get
+removed instead of accumulating.
+
+This is a *meta*-scope rule: it cannot be computed from one module or
+even from the whole program model, because "suppressed nothing" is only
+known after **all** other rules (per-file and whole-program, selected
+or not) have produced their raw findings and the engine has applied
+suppressions.  The engine therefore synthesizes the findings itself —
+this class exists so the rule is registered, listable, selectable and
+ignorable like any other.
+
+Two deliberate wrinkles:
+
+* The verdict is selection-independent: running with ``--select
+  layering`` does not make every other rule's waiver look unused.
+* A finding of this rule on a suppression line is itself suppressed
+  only by an explicit ``unused-suppression`` entry in the bracket —
+  otherwise every blanket ``# repro: ignore`` would self-excuse.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.registry import Rule, register
+
+__all__ = ["UnusedSuppressionRule"]
+
+
+@register
+class UnusedSuppressionRule(Rule):
+    """Report ``# repro: ignore`` comments that suppress no finding."""
+
+    id = "unused-suppression"
+    description = (
+        "# repro: ignore[...] comments that no longer suppress any "
+        "finding must be removed"
+    )
+    scope = "meta"

@@ -107,8 +107,12 @@ def _profile_of(i: int):
         g = _worker["graphs"][i]
         cached = extract_qgrams(g, _worker["options"].q)
         _worker["sorter"].sort_profile(cached)
-        _worker["profiles"][i] = cached
-        _worker["labels"][i] = (
+        # Fork-safety waivers: this memo is per-process verification
+        # state — each worker fills and reads only its own copy, and the
+        # parent never reads it back, so worker-local divergence is the
+        # design, not a race.
+        _worker["profiles"][i] = cached  # repro: ignore[fork-safety]
+        _worker["labels"][i] = (  # repro: ignore[fork-safety]
             g.vertex_label_multiset(), g.edge_label_multiset()
         )
     return cached, _worker["labels"][i]

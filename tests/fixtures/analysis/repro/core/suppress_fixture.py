@@ -1,0 +1,26 @@
+"""Fixture: suppression edge cases — multi-rule brackets, decorated defs, stale waivers."""
+
+import random
+
+
+def multi() -> bool:
+    """One line violating two rules; one bracket waives both."""
+    return random.random() == 0.5  # repro: ignore[determinism, float-equality]
+
+
+def partial() -> bool:
+    """Same double violation, but only one rule is waived."""
+    return random.random() == 0.5  # repro: ignore[determinism]
+
+
+@staticmethod
+def decorated(cost: float) -> bool:  # repro: ignore[docstrings]
+    return cost < 1.0
+
+
+def stale(cost: float) -> bool:
+    """Three rotted waivers: explicit, blanket, and self-excused."""
+    a = cost < 1.0  # repro: ignore[float-equality]
+    b = cost < 2.0  # repro: ignore
+    c = cost < 3.0  # repro: ignore[float-equality, unused-suppression]
+    return a and b and c

@@ -1,0 +1,40 @@
+"""Fixture: the verification budget threaded end to end (clean)."""
+
+
+def dfs_ged(g1, g2, budget=None):
+    """Stand-in A* verifier accepting a budget."""
+    return 0
+
+
+def verify_pair(g1, g2, budget=None):
+    """Budgeted wrapper on the verifier path."""
+    return dfs_ged(g1, g2, budget=budget)
+
+
+def run_stage(pairs, budget):
+    """Threads the in-scope budget into every verification."""
+    out = []
+    for g1, g2 in pairs:
+        out.append(verify_pair(g1, g2, budget=budget))
+    return out
+
+
+class Verify:
+    """Stand-in verify stage."""
+
+    def run(self, ctx, budget=None):
+        """Verify one pair under the budget."""
+        return dfs_ged(ctx, ctx, budget=budget)
+
+
+class Executor:
+    """Stand-in staged executor holding a budget attribute."""
+
+    def __init__(self, budget=None):
+        """Store the join-wide budget."""
+        self.budget = budget
+
+    def verify_candidate(self, ctx):
+        """Passes self.budget when delegating."""
+        verify = Verify()
+        return verify.run(ctx, budget=self.budget)

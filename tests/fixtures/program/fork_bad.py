@@ -1,0 +1,35 @@
+"""Fixture: worker-reachable functions that are not fork-safe."""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+_CACHE: dict = {}
+_LOCK = threading.Lock()
+
+
+def _init(seed):
+    """Pool initializer: its own global writes are sanctioned setup."""
+    _CACHE["seed"] = seed
+
+
+def _helper(i, acc=[]):
+    """Worker-reachable; every write below is a fork-safety violation."""
+    _CACHE[i] = i * 2
+    acc.append(i)
+    with _LOCK:
+        return _CACHE[i]
+
+
+def _work(chunk):
+    """The submitted worker function."""
+    return [_helper(i) for i in chunk]
+
+
+def run(chunks):
+    """Drive the pool."""
+    out = []
+    with ProcessPoolExecutor(initializer=_init, initargs=(1,)) as ex:
+        futures = [ex.submit(_work, c) for c in chunks]
+        for f in futures:
+            out.extend(f.result())
+    return out

@@ -1,0 +1,33 @@
+"""Fixture: the same pool shape, kept fork-safe (clean counterpart)."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+_CACHE: dict = {}
+
+
+def _init(seed):
+    """Pool initializer: per-process setup writes are sanctioned."""
+    _CACHE["seed"] = seed
+    _CACHE["table"] = {}
+
+
+def _helper(i, acc=None):
+    """Worker-reachable, but touches only per-call local state."""
+    local = [] if acc is None else list(acc)
+    local.append(i)
+    return i * 2 + len(local)
+
+
+def _work(chunk):
+    """The submitted worker function: pure over its chunk."""
+    return [_helper(i) for i in chunk]
+
+
+def run(chunks):
+    """Drive the pool."""
+    out = []
+    with ProcessPoolExecutor(initializer=_init, initargs=(1,)) as ex:
+        futures = [ex.submit(_work, c) for c in chunks]
+        for f in futures:
+            out.extend(f.result())
+    return out

@@ -1,0 +1,40 @@
+"""Fixture: unordered-container values reaching ordering-sensitive sinks."""
+
+
+class StageStatistics:
+    """Stand-in for the engine's per-stage statistics record."""
+
+    def __init__(self, first_id=0):
+        """Record the first candidate id seen."""
+        self.first_id = first_id
+
+
+class JoinJournal:
+    """Stand-in for the checkpoint journal."""
+
+    def append(self, entry):
+        """Accept one journal record."""
+
+
+def unordered_ids(items):
+    """Return ids in set order — taints the caller's value."""
+    return list(set(items))
+
+
+def bad_collect(graph_ids):
+    """Set iteration and set.pop() flow into pairs/journal/stats sinks."""
+    ids = set(graph_ids)
+    pairs = []
+    for i in ids:
+        pairs.append((i, i + 1))
+    journal = JoinJournal()
+    journal.append(ids.pop())
+    stats = StageStatistics(first_id=next(iter(ids)))
+    return pairs, stats
+
+
+def indirect(items):
+    """Taint arriving through another function's return value."""
+    pairs = []
+    pairs.append(unordered_ids(items))
+    return pairs

@@ -1,0 +1,40 @@
+"""Fixture: the same flows, sanitized by ordering functions (clean)."""
+
+
+class StageStatistics:
+    """Stand-in for the engine's per-stage statistics record."""
+
+    def __init__(self, first_id=0):
+        """Record the first candidate id seen."""
+        self.first_id = first_id
+
+
+class JoinJournal:
+    """Stand-in for the checkpoint journal."""
+
+    def append(self, entry):
+        """Accept one journal record."""
+
+
+def ordered_ids(items):
+    """Return ids deterministically ordered."""
+    return sorted(set(items))
+
+
+def good_collect(graph_ids):
+    """Every unordered container is sorted before it reaches a sink."""
+    ids = set(graph_ids)
+    pairs = []
+    for i in sorted(ids):
+        pairs.append((i, i + 1))
+    journal = JoinJournal()
+    journal.append(min(ids))
+    stats = StageStatistics(first_id=len(ids))
+    return pairs, stats
+
+
+def indirect(items):
+    """Sanitized return value keeps the caller clean."""
+    pairs = []
+    pairs.append(ordered_ids(items))
+    return pairs

@@ -24,13 +24,17 @@ SRC_REPRO = Path(__file__).parent.parent / "src" / "repro"
 
 EXPECTED_RULE_IDS = {
     "annotations",
+    "budget-threading",
     "determinism",
+    "determinism-taint",
     "docstrings",
     "exceptions",
     "filter-purity",
     "float-equality",
+    "fork-safety",
     "hot-path-alloc",
     "layering",
+    "unused-suppression",
 }
 
 
@@ -64,7 +68,7 @@ def test_layering_flags_ged_importing_core_and_facade_and_unknown():
 
 def test_layering_suppression():
     path = FIXTURES / "repro" / "ged" / "layering_bad.py"
-    # line 8 imports repro.core.verify but carries # repro: ignore[layering]
+    # line 8 imports repro.core.verify but carries `# repro: ignore[layering]`
     assert 8 not in lines_for("layering", path)
 
 
@@ -132,7 +136,7 @@ def test_hot_path_covers_interned_kernels():
     """The rule extends to the interned filter kernels (grams.vocab)."""
     path = FIXTURES / "repro" / "grams" / "vocab.py"
     # 7-9: copies in the for loop; 11: extract_qgrams in the while loop;
-    # 12 carries # repro: ignore[hot-path-alloc] and is suppressed.
+    # 12 carries `# repro: ignore[hot-path-alloc]` and is suppressed.
     assert lines_for("hot-path-alloc", path) == [7, 8, 9, 11]
 
 
@@ -140,7 +144,7 @@ def test_hot_path_covers_compiled_verifier():
     """The rule extends to the compiled GED backend (ged.compiled)."""
     path = FIXTURES / "repro" / "ged" / "compiled.py"
     # 6-7: copies in the while loop; 9-10: copies in the nested for
-    # loop; 11 carries # repro: ignore[hot-path-alloc], suppressed.
+    # loop; 11 carries `# repro: ignore[hot-path-alloc]`, suppressed.
     assert lines_for("hot-path-alloc", path) == [6, 7, 9, 10]
 
 
@@ -148,7 +152,7 @@ def test_hot_path_covers_engine_executor():
     """The rule extends to the staged execution engine's driver loops."""
     path = FIXTURES / "repro" / "engine" / "executor.py"
     # 7-8: copies in the for loop; 9: extract_qgrams in the for loop;
-    # 12 carries # repro: ignore[hot-path-alloc] and is suppressed.
+    # 12 carries `# repro: ignore[hot-path-alloc]` and is suppressed.
     assert lines_for("hot-path-alloc", path) == [7, 8, 9]
 
 
@@ -239,3 +243,121 @@ def test_text_reporter_counts():
 def test_whole_repo_is_clean():
     """The acceptance gate: zero findings over src/repro."""
     assert run_analysis([SRC_REPRO]) == []
+
+
+# ---------------------------------------------------- suppression edge cases
+
+
+SUPPRESS_FIXTURE = FIXTURES / "repro" / "core" / "suppress_fixture.py"
+
+
+def test_multi_rule_bracket_suppresses_both_rules():
+    """Line 8 violates determinism AND float-equality; one bracket
+    (``# repro: ignore[determinism, float-equality]``) waives both."""
+    findings = run_analysis([SUPPRESS_FIXTURE])
+    assert not any(f.line == 8 for f in findings)
+
+
+def test_partial_bracket_leaves_the_other_rule_firing():
+    """Line 13 carries the same double violation but waives only
+    determinism — float-equality must still fire there."""
+    findings = run_analysis([SUPPRESS_FIXTURE])
+    at_13 = sorted(f.rule for f in findings if f.line == 13)
+    assert at_13 == ["float-equality"]
+
+
+def test_suppression_on_decorated_def_line():
+    """Rules report at the ``def`` line, not the decorator line, so the
+    waiver on line 17 covers the decorated, docstring-less function."""
+    findings = run_analysis([SUPPRESS_FIXTURE])
+    assert not any(f.rule == "docstrings" for f in findings)
+
+
+def test_unused_suppression_flags_stale_waivers():
+    stale = [
+        (f.line, f.message)
+        for f in run_analysis([SUPPRESS_FIXTURE])
+        if f.rule == "unused-suppression"
+    ]
+    assert [line for line, _ in stale] == [23, 24]
+    assert "# repro: ignore[float-equality]" in stale[0][1]
+    assert "blanket # repro: ignore" in stale[1][1]
+
+
+def test_unused_suppression_explicit_self_waiver():
+    """Line 25's bracket names unused-suppression explicitly, so the
+    rotted waiver is excused; blanket ignores must not self-excuse
+    (line 24 is still flagged above)."""
+    findings = run_analysis([SUPPRESS_FIXTURE])
+    assert not any(f.line == 25 for f in findings)
+
+
+def test_unused_suppression_verdict_is_selection_independent():
+    """Selecting a single rule must not rot waivers for the others:
+    the used-waiver set is computed from every registered rule, so
+    lines 8/13/17 stay excused even when only float-equality reports."""
+    rules = {
+        rule_id: all_rules()[rule_id]
+        for rule_id in ("float-equality", "unused-suppression")
+    }
+    findings = run_analysis([SUPPRESS_FIXTURE], rules)
+    stale = [f.line for f in findings if f.rule == "unused-suppression"]
+    assert stale == [23, 24]
+
+
+def test_backtick_quoted_waiver_mentions_are_prose(tmp_path):
+    """A comment *documenting* the syntax in backticks is not a waiver."""
+    path = tmp_path / "prose.py"
+    path.write_text(
+        '"""Module."""\n'
+        "\n"
+        "\n"
+        "def f():\n"
+        '    """Doc."""\n'
+        "    # the `# repro: ignore[layering]` form waives a finding\n"
+        "    return 1\n"
+    )
+    assert run_analysis([path]) == []
+
+
+# ----------------------------------------------------------- CLI rule ids
+
+
+def test_cli_select_unknown_rule_exits_2_listing_valid_ids(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main([str(SRC_REPRO), "--select", "fork-safety,no-such-rule"])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "unknown rule id(s) for --select: no-such-rule" in err
+    for rule_id in sorted(EXPECTED_RULE_IDS):
+        assert rule_id in err
+
+
+def test_cli_ignore_unknown_rule_exits_2_listing_valid_ids(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main([str(SRC_REPRO), "--ignore", "totally-bogus"])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "unknown rule id(s) for --ignore: totally-bogus" in err
+    assert "valid ids:" in err
+
+
+def test_cli_ignore_filters_rules(capsys):
+    path = FIXTURES / "repro" / "core" / "float_fixture.py"
+    assert main([str(path), "--ignore", "float-equality,annotations"]) == 0
+    capsys.readouterr()
+    assert main([str(path)]) == 1
+
+
+# ------------------------------------------------------------ runtime budget
+
+
+def test_analysis_runtime_budget():
+    """A cold whole-program run over src/repro stays interactive; CI
+    enforces the same ceiling on the analyze step."""
+    import time
+
+    start = time.monotonic()
+    run_analysis([SRC_REPRO])
+    elapsed = time.monotonic() - start
+    assert elapsed < 30.0, f"cold analysis took {elapsed:.1f}s (budget 30s)"

@@ -1,0 +1,147 @@
+"""Tests for the content-hash incremental analysis cache.
+
+The acceptance contract: a second run over an unchanged tree re-parses
+zero files and reuses the whole-program verdict (asserted via cache
+stats, not timing); editing one file re-parses exactly that file and
+re-runs only the program phase it affects; a comment-only edit
+re-parses the touched file but leaves the cached program facts — and
+therefore the cached program findings — intact.
+"""
+
+import shutil
+from pathlib import Path
+
+from repro.analysis.engine import run_analysis
+from repro.analysis.program import AnalysisCache, file_sha, rules_key
+
+FIXTURES = Path(__file__).parent / "fixtures" / "program"
+
+PROGRAM_RULES = {"fork-safety", "determinism-taint", "budget-threading"}
+
+
+def make_tree(tmp_path):
+    """A small three-module analysis target copied from the fixtures."""
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    for name in ("fork_bad", "taint_bad", "budget_ok"):
+        shutil.copy(FIXTURES / f"{name}.py", tree / f"{name}.py")
+    return tree
+
+
+def test_cold_run_parses_everything(tmp_path):
+    tree = make_tree(tmp_path)
+    cache = AnalysisCache(tmp_path / "cache.json")
+    run_analysis([tree], cache=cache)
+    assert cache.stats.files_seen == 3
+    assert cache.stats.parsed_files == 3
+    assert cache.stats.reused_files == 0
+    assert cache.stats.program_runs == 1
+    assert cache.stats.program_reused == 0
+
+
+def test_second_run_reparses_zero_files(tmp_path):
+    tree = make_tree(tmp_path)
+    cache = AnalysisCache(tmp_path / "cache.json")
+    first = run_analysis([tree], cache=cache)
+    second = run_analysis([tree], cache=cache)
+    assert cache.stats.parsed_files == 0
+    assert cache.stats.reused_files == 3
+    assert cache.stats.program_runs == 0
+    assert cache.stats.program_reused == 1
+    assert second == first
+
+
+def test_cache_persists_across_processes(tmp_path):
+    tree = make_tree(tmp_path)
+    path = tmp_path / "cache.json"
+    cache = AnalysisCache(path)
+    first = run_analysis([tree], cache=cache)
+    cache.save()
+    assert path.exists()
+
+    fresh = AnalysisCache(path)
+    second = run_analysis([tree], cache=fresh)
+    assert fresh.stats.parsed_files == 0
+    assert fresh.stats.program_reused == 1
+    assert second == first
+
+
+def test_one_file_edit_invalidates_exactly_that_file(tmp_path):
+    tree = make_tree(tmp_path)
+    cache = AnalysisCache(tmp_path / "cache.json")
+    run_analysis([tree], cache=cache)
+
+    target = tree / "budget_ok.py"
+    target.write_text(
+        target.read_text(encoding="utf-8")
+        + "\n\ndef extra(budget):\n"
+        + '    """New budgeted entry — changes program facts."""\n'
+        + "    return run_stage([], budget)\n",
+        encoding="utf-8",
+    )
+
+    run_analysis([tree], cache=cache)
+    assert cache.stats.parsed_files == 1
+    assert cache.stats.reused_files == 2
+    # The reachable slice changed, so the program phase re-ran.
+    assert cache.stats.program_runs == 1
+    assert cache.stats.program_reused == 0
+
+
+def test_comment_only_edit_keeps_program_verdict_cached(tmp_path):
+    tree = make_tree(tmp_path)
+    cache = AnalysisCache(tmp_path / "cache.json")
+    first = run_analysis([tree], cache=cache)
+
+    target = tree / "budget_ok.py"
+    target.write_text(
+        target.read_text(encoding="utf-8") + "\n# trailing remark\n",
+        encoding="utf-8",
+    )
+
+    second = run_analysis([tree], cache=cache)
+    # The file's sha changed, so it re-parses...
+    assert cache.stats.parsed_files == 1
+    # ...but its program facts hash the same, so the program phase is
+    # reused rather than re-run.
+    assert cache.stats.program_runs == 0
+    assert cache.stats.program_reused == 1
+    assert second == first
+
+
+def test_rule_set_change_drops_the_cache(tmp_path):
+    tree = make_tree(tmp_path)
+    cache = AnalysisCache(tmp_path / "cache.json")
+    run_analysis([tree], cache=cache)
+    run_analysis([tree], rules=None, cache=cache)
+    assert cache.stats.parsed_files == 0  # same rule set: still warm
+
+    cache.begin_run(rules_key(["only-one-rule"]))
+    assert cache.lookup_file(
+        str((tree / "fork_bad.py").resolve()), file_sha(tree / "fork_bad.py")
+    ) is None
+
+
+def test_cached_and_uncached_findings_agree(tmp_path):
+    tree = make_tree(tmp_path)
+    cache = AnalysisCache(tmp_path / "cache.json")
+    cached = run_analysis([tree], cache=cache)
+    cached_again = run_analysis([tree], cache=cache)
+    uncached = run_analysis([tree])
+    assert cached == cached_again == uncached
+    assert any(f.rule in PROGRAM_RULES for f in cached)
+
+
+def test_selection_does_not_fork_the_cache(tmp_path):
+    """Report-time selection must not change what is cached."""
+    tree = make_tree(tmp_path)
+    cache = AnalysisCache(tmp_path / "cache.json")
+    run_analysis([tree], cache=cache)
+
+    from repro.analysis.registry import all_rules
+
+    fork_only = {"fork-safety": all_rules()["fork-safety"]}
+    selected = run_analysis([tree], rules=fork_only, cache=cache)
+    assert cache.stats.parsed_files == 0
+    assert cache.stats.program_reused == 1
+    assert selected and all(f.rule == "fork-safety" for f in selected)

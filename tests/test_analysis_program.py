@@ -1,0 +1,204 @@
+"""Tests for the whole-program analysis layer (``repro.analysis.program``).
+
+Each program-scoped rule — ``fork-safety``, ``determinism-taint``, and
+``budget-threading`` — is exercised against a dedicated fixture pair
+under ``tests/fixtures/program/``: one file that must trigger the rule
+at known lines and a clean counterpart that must not.  The suite also
+unit-tests the ``ProgramModel`` building blocks (worker-root discovery,
+entry points, reachability, name resolution, verifier reachability)
+directly, so a regression points at the broken layer rather than just
+"the rule stopped firing".
+"""
+
+from pathlib import Path
+
+from repro.analysis.engine import load_module, run_analysis
+from repro.analysis.program import ModuleContext, ProgramModel, extract_facts
+
+FIXTURES = Path(__file__).parent / "fixtures" / "program"
+
+PROGRAM_RULES = {"fork-safety", "determinism-taint", "budget-threading"}
+
+
+def program_findings(name):
+    """All program-rule findings for one fixture, as (line, rule) pairs."""
+    findings = run_analysis([FIXTURES / f"{name}.py"])
+    return sorted((f.line, f.rule) for f in findings if f.rule in PROGRAM_RULES)
+
+
+def model_for(name):
+    """Build a ProgramModel over a single fixture module."""
+    facts = extract_facts(load_module(FIXTURES / f"{name}.py"))
+    return ProgramModel([facts])
+
+
+# ---------------------------------------------------------------------------
+# fork-safety
+# ---------------------------------------------------------------------------
+
+
+def test_fork_safety_flags_all_three_write_kinds():
+    found = program_findings("fork_bad")
+    assert found == [
+        (17, "fork-safety"),  # _CACHE[i] = ... (global-subscript)
+        (18, "fork-safety"),  # acc.append(i) (default-mutation)
+        (19, "fork-safety"),  # with _LOCK: (unpicklable-capture)
+    ]
+
+
+def test_fork_safety_messages_name_worker_root_and_state():
+    findings = [
+        f
+        for f in run_analysis([FIXTURES / "fork_bad.py"])
+        if f.rule == "fork-safety"
+    ]
+    for f in findings:
+        assert "'_helper'" in f.message and "'_work'" in f.message
+    details = "\n".join(f.message for f in findings)
+    assert "_CACHE" in details and "acc" in details and "_LOCK" in details
+
+
+def test_fork_safety_clean_counterpart():
+    assert program_findings("fork_ok") == []
+
+
+def test_fork_safety_initializer_global_writes_exempt():
+    """_init writes _CACHE in both fixtures yet is never flagged."""
+    for name in ("fork_bad", "fork_ok"):
+        findings = run_analysis([FIXTURES / f"{name}.py"])
+        assert not any(
+            "_init" in f.message for f in findings if f.rule == "fork-safety"
+        )
+
+
+# ---------------------------------------------------------------------------
+# determinism-taint
+# ---------------------------------------------------------------------------
+
+
+def test_determinism_taint_flags_set_flows_into_sinks():
+    found = program_findings("taint_bad")
+    assert found == [
+        (9, "determinism-taint"),  # StageStatistics.__init__ attr store
+        (29, "determinism-taint"),  # set iteration -> pairs.append
+        (31, "determinism-taint"),  # set.pop() -> journal.append
+        (32, "determinism-taint"),  # iter(set) -> StageStatistics(...)
+        (39, "determinism-taint"),  # taint via unordered_ids() return
+    ]
+
+
+def test_determinism_taint_messages_name_source_and_sink():
+    messages = {
+        f.line: f.message
+        for f in run_analysis([FIXTURES / "taint_bad.py"])
+        if f.rule == "determinism-taint"
+    }
+    assert "iteration over a set" in messages[29]
+    assert "result accumulation" in messages[29]
+    assert "set.pop()" in messages[31]
+    assert "checkpoint-journal" in messages[31]
+    assert "StageStatistics" in messages[32]
+    # The indirect flow cites the source line inside unordered_ids().
+    assert "(line 21)" in messages[39]
+
+
+def test_determinism_taint_sanitizers_keep_counterpart_clean():
+    assert program_findings("taint_ok") == []
+
+
+# ---------------------------------------------------------------------------
+# budget-threading
+# ---------------------------------------------------------------------------
+
+
+def test_budget_threading_flags_dropped_budget():
+    found = program_findings("budget_bad")
+    assert found == [
+        (18, "budget-threading"),  # run_stage -> verify_pair(g1, g2)
+        (42, "budget-threading"),  # Executor.verify_candidate -> Verify.run
+    ]
+
+
+def test_budget_threading_messages_name_caller_and_callee():
+    messages = {
+        f.line: f.message
+        for f in run_analysis([FIXTURES / "budget_bad.py"])
+        if f.rule == "budget-threading"
+    }
+    assert "'run_stage'" in messages[18] and "'verify_pair'" in messages[18]
+    assert "'Executor.verify_candidate'" in messages[42]
+    assert "'Verify.run'" in messages[42]
+
+
+def test_budget_threading_clean_counterpart():
+    assert program_findings("budget_ok") == []
+
+
+# ---------------------------------------------------------------------------
+# ProgramModel building blocks
+# ---------------------------------------------------------------------------
+
+
+def test_worker_roots_found_from_submit_and_initializer():
+    model = model_for("fork_bad")
+    assert "fork_bad._work" in model.worker_roots
+    assert "fork_bad._init" in model.initializers
+
+
+def test_reachability_includes_transitive_helper():
+    model = model_for("fork_bad")
+    reachable = model.reachable({"fork_bad._work"})
+    assert "fork_bad._helper" in reachable
+
+
+def test_resolution_links_bare_and_method_calls():
+    model = model_for("budget_bad")
+    run_stage = model.functions["budget_bad.run_stage"]
+    resolved = {c.get("resolved") for c in run_stage["calls"]}
+    assert "budget_bad.verify_pair" in resolved
+    candidate = model.functions["budget_bad.Executor.verify_candidate"]
+    resolved = {c.get("resolved") for c in candidate["calls"]}
+    assert "budget_bad.Verify.run" in resolved
+
+
+def test_reaches_verifier_by_name_and_transitively():
+    model = model_for("budget_bad")
+    assert model.reaches_verifier("budget_bad.dfs_ged")
+    assert model.reaches_verifier("budget_bad.verify_pair")
+    assert model.reaches_verifier("budget_bad.Verify.run")
+    assert not model.reaches_verifier("budget_bad.Executor.__init__")
+
+
+def test_module_context_tracks_sets_and_unpicklables():
+    ctx = ModuleContext(load_module(FIXTURES / "fork_bad.py"))
+    assert "_LOCK" in ctx.module_unpicklable
+    assert "_CACHE" in ctx.module_level_names
+
+
+def test_container_lookup_launders_key_taint(tmp_path):
+    """``d.get(key)`` returns a stored value, not the key — key taint
+    must not reach the result; a tainted *default* still must."""
+    path = tmp_path / "lookup.py"
+    path.write_text(
+        '"""Module."""\n'
+        "\n"
+        "\n"
+        "def by_key(cache, g):\n"
+        '    """id() used only as a lookup key: benign."""\n'
+        "    pairs = []\n"
+        "    pairs.append(cache.get(id(g)))\n"
+        "    return pairs\n"
+        "\n"
+        "\n"
+        "def by_default(cache, g):\n"
+        '    """id() returned via the lookup default: flagged."""\n'
+        "    pairs = []\n"
+        "    pairs.append(cache.get(0, id(g)))\n"
+        "    return pairs\n"
+    )
+    found = sorted(
+        (f.line, f.rule)
+        for f in run_analysis([path])
+        if f.rule in PROGRAM_RULES
+    )
+    assert found == [(14, "determinism-taint")]

@@ -1,0 +1,123 @@
+"""Tests for the SARIF 2.1.0 reporter.
+
+Reports are validated against a vendored subset of the OASIS SARIF
+2.1.0 schema (``tests/data/sarif-2.1.0-subset.schema.json``) so the
+suite works offline: the subset mirrors the published schema's
+constraints for the elements repro-analysis emits (run / tool driver /
+rule table / results with physical locations).
+"""
+
+import json
+from pathlib import Path
+
+import jsonschema
+import pytest
+
+from repro.analysis.cli import main
+from repro.analysis.engine import Finding, run_analysis
+from repro.analysis.registry import all_rules
+from repro.analysis.reporters import SARIF_SCHEMA_URI, render_sarif
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SCHEMA = json.loads(
+    (Path(__file__).parent / "data" / "sarif-2.1.0-subset.schema.json").read_text()
+)
+
+
+def validate(document):
+    """Validate a SARIF document (dict or JSON text) against the schema."""
+    if isinstance(document, str):
+        document = json.loads(document)
+    jsonschema.validate(document, SCHEMA)
+    return document
+
+
+def test_sarif_report_with_findings_validates():
+    findings = run_analysis([FIXTURES / "program" / "fork_bad.py"])
+    assert findings
+    doc = validate(render_sarif(findings))
+    results = doc["runs"][0]["results"]
+    assert len(results) == len(findings)
+
+
+def test_sarif_empty_report_validates_and_keeps_rule_table():
+    doc = validate(render_sarif([]))
+    run = doc["runs"][0]
+    assert run["results"] == []
+    listed = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    # A clean run still documents every registered rule plus the
+    # engine-synthesized syntax-error check.
+    assert listed == set(all_rules()) | {"syntax-error"}
+
+
+def test_sarif_header_fields():
+    doc = validate(render_sarif([]))
+    assert doc["version"] == "2.1.0"
+    assert doc["$schema"] == SARIF_SCHEMA_URI
+    assert "sarif" in SARIF_SCHEMA_URI
+    assert doc["runs"][0]["tool"]["driver"]["name"] == "repro-analysis"
+
+
+def test_sarif_result_shape_and_rule_index():
+    findings = run_analysis([FIXTURES / "program" / "taint_bad.py"])
+    doc = validate(render_sarif(findings))
+    run = doc["runs"][0]
+    rule_ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+    for result, finding in zip(run["results"], findings):
+        assert result["ruleId"] == finding.rule
+        assert rule_ids[result["ruleIndex"]] == finding.rule
+        assert result["message"]["text"] == finding.message
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("taint_bad.py")
+        assert location["region"]["startLine"] == finding.line
+
+
+def test_sarif_syntax_error_reports_as_error_level():
+    findings = [Finding(path="x.py", line=0, rule="syntax-error", message="boom")]
+    doc = validate(render_sarif(findings))
+    result = doc["runs"][0]["results"][0]
+    assert result["level"] == "error"
+    # Line 0 (whole-file findings) is clamped to SARIF's 1-based regions.
+    assert result["locations"][0]["physicalLocation"]["region"]["startLine"] == 1
+    other = validate(render_sarif(run_analysis([FIXTURES / "program" / "fork_bad.py"])))
+    assert {r["level"] for r in other["runs"][0]["results"]} == {"warning"}
+
+
+def test_cli_writes_valid_sarif(tmp_path, capsys):
+    out_file = tmp_path / "report.sarif"
+    code = main(
+        [
+            str(FIXTURES / "program" / "budget_bad.py"),
+            "--format",
+            "sarif",
+            "--output",
+            str(out_file),
+        ]
+    )
+    assert code == 1  # findings present
+    doc = validate(out_file.read_text())
+    assert doc["runs"][0]["results"]
+    assert str(out_file) in capsys.readouterr().out
+
+
+def test_cli_sarif_to_stdout(capsys):
+    code = main(
+        [str(FIXTURES / "program" / "budget_ok.py"), "--format", "sarif"]
+    )
+    assert code == 0
+    validate(capsys.readouterr().out)
+
+
+def test_subset_schema_rejects_malformed_documents():
+    """The vendored schema has teeth: broken documents must fail."""
+    good = json.loads(render_sarif([]))
+    for mutate in (
+        lambda d: d.pop("runs"),
+        lambda d: d.__setitem__("version", "2.0.0"),
+        lambda d: d["runs"][0].pop("tool"),
+        lambda d: d["runs"][0]["tool"]["driver"].pop("name"),
+    ):
+        broken = json.loads(json.dumps(good))
+        mutate(broken)
+        with pytest.raises(jsonschema.ValidationError):
+            jsonschema.validate(broken, SCHEMA)
