@@ -1,10 +1,12 @@
 """Hot-path allocation rule.
 
-The engine's driver loops (``engine.executor``, ``engine.stages``) and
-their thin ``core`` wrappers (``core.join``, ``core.search``),
-``ged.astar``, the compiled verifier ``ged.compiled`` and the interned
-filter kernels ``grams.vocab`` / ``grams.mismatch`` are the per-pair /
-per-state inner loops of the whole system; an accidental
+The engine's driver loops (``engine.executor``, ``engine.stages``),
+the vectorized batch kernels ``engine.batch``, their thin ``core``
+wrappers (``core.join``, ``core.search``), ``ged.astar``, the compiled
+verifier ``ged.compiled``, the interned filter kernels ``grams.vocab``
+/ ``grams.mismatch`` and the columnar store builder ``grams.columnar``
+are the per-pair / per-state / per-block inner loops of the whole
+system; an accidental
 ``list(...)``/``dict(...)``/``set(...)`` copy or a repeated
 ``extract_qgrams`` call inside one of their ``for``/``while`` loops
 multiplies by the candidate (or A* state, or merged-id) count.  Copies
@@ -32,10 +34,12 @@ __all__ = ["HotPathAllocationRule"]
 TARGET_MODULES = {
     "repro.core.join",
     "repro.core.search",
+    "repro.engine.batch",
     "repro.engine.executor",
     "repro.engine.stages",
     "repro.ged.astar",
     "repro.ged.compiled",
+    "repro.grams.columnar",
     "repro.grams.mismatch",
     "repro.grams.vocab",
 }
@@ -52,7 +56,8 @@ class HotPathAllocationRule(Rule):
     id = "hot-path-alloc"
     description = (
         "flag list()/dict() copies and extract_qgrams calls inside loops "
-        "in core.join/core.search/ged.astar/ged.compiled/"
+        "in core.join/core.search/engine.batch/engine.executor/"
+        "engine.stages/ged.astar/ged.compiled/grams.columnar/"
         "grams.mismatch/grams.vocab"
     )
 

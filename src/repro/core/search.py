@@ -35,6 +35,7 @@ from repro.engine.result import JoinStatistics
 from repro.exceptions import ParameterError
 from repro.ged.compiled import VerificationCache
 from repro.graph.graph import Graph
+from repro.grams.columnar import ColumnarStore, build_columnar_store
 from repro.grams.qgrams import QGramProfile, extract_qgrams
 
 __all__ = ["GSimIndex"]
@@ -76,6 +77,10 @@ class GSimIndex:
         self._ids: set = set()
         self._index = InvertedIndex()
         self._unprunable: List[int] = []
+        self._prefix_lengths: List[int] = []
+        # Columnar store for the batch kernels, built lazily on the
+        # first batched query and invalidated by every insert.
+        self._store: Optional[ColumnarStore] = None
         # Compiled-verifier cache, living as long as the index: data
         # graphs are compiled on first query touching them and reused
         # by every later query (indexed graphs are never mutated).
@@ -110,6 +115,8 @@ class GSimIndex:
         self._profiles.append(profile)
         self._labels.append((g.vertex_label_multiset(), g.edge_label_multiset()))
         self._ids.add(g.graph_id)
+        self._prefix_lengths.append(info.length)
+        self._store = None
         if info.prunable:
             for key in profile.prefix_keys(info.length):
                 self._index.add(key, position)
@@ -166,6 +173,14 @@ class GSimIndex:
             cache=self._cache,
             plan=self._plan,
         )
+        if executor.batch and self.graphs:
+            if self._store is None:
+                self._store = build_columnar_store(
+                    self._profiles,
+                    self._labels,
+                    prefix_lengths=self._prefix_lengths,
+                )
+            executor.attach_store(self._store)
         profile = extract_qgrams(g, self.options.q)
         self._sorter.sort_profile(profile)
         info = self._prefix(profile, tau)
@@ -176,12 +191,33 @@ class GSimIndex:
         )
 
         g_labels = (g.vertex_label_multiset(), g.edge_label_multiset())
+        # The query graph is external to the store: its probe-side row
+        # is assembled ad hoc (unseen labels can never intersect).
+        js = [
+            j for j in candidates if self.graphs[j].graph_id != g.graph_id
+        ]
+        block = (
+            executor.batch_prefilter(
+                self._store.external_row(profile, g_labels), js
+            )
+            if self._store is not None and executor.batch and js
+            else None
+        )
+        block_pos = (
+            {j: t for t, j in enumerate(js)} if block is not None else {}
+        )
         matches: List[Tuple[Hashable, int]] = []
-        for j in candidates:
-            if self.graphs[j].graph_id == g.graph_id:
+        for j in js:
+            tag = block.tags[block_pos[j]] if block is not None else None
+            if tag is not None:
                 continue
             outcome = executor.verify_candidate(
-                profile, self._profiles[j], g_labels, self._labels[j]
+                profile, self._profiles[j], g_labels, self._labels[j],
+                hinted=(
+                    block.hint_for(block_pos[j])
+                    if block is not None
+                    else None
+                ),
             )
             if outcome.is_result:
                 matches.append((self.graphs[j].graph_id, outcome.ged))

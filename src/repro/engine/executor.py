@@ -32,8 +32,16 @@ import dataclasses
 import hashlib
 import os
 import time
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
+from repro.engine.batch import (
+    MIN_BATCH_BLOCK,
+    BlockVerdicts,
+    batchable_prefix,
+    block_size_filter,
+    evaluate_block,
+    resolve_batch,
+)
 from repro.engine.count_filter import passes_size_filter
 from repro.engine.inverted_index import InvertedIndex
 from repro.engine.options import (
@@ -54,6 +62,12 @@ from repro.engine.stages import BUDGETED_VERIFIERS, PairContext, VerifyOutcome
 from repro.exceptions import ParameterError
 from repro.ged.compiled import VerificationCache
 from repro.graph.graph import Graph
+from repro.grams.columnar import (
+    ColumnarStore,
+    SignatureRow,
+    build_columnar_store,
+    np,
+)
 from repro.grams.qgrams import QGramProfile, extract_qgrams
 from repro.runtime.budget import VerificationBudget
 from repro.runtime.faults import FaultPlan
@@ -104,10 +118,14 @@ def _options_meta(options: GSimJoinOptions) -> dict:
     ``plan=None`` reproduces the historical meta byte-for-byte.  An
     explicit plan stays in (reordering the cascade shifts journaled
     prune attribution, so such journals must not cross plans).
+    ``batch`` is *always* dropped: the batch kernels are bit-identical
+    to the scalar cascade, so a journal written under either mode must
+    resume under the other (and reproduce the pre-batch header).
     """
     options_dict = dataclasses.asdict(options)
     if options_dict.get("plan") is None:
         options_dict.pop("plan", None)
+    options_dict.pop("batch", None)
     return options_dict
 
 
@@ -243,6 +261,57 @@ class Executor:
         self._cascade = tuple(
             (stage, self._rows[stage.name]) for stage in self.plan.pair_filters
         )
+        #: Whether this run uses the vectorized batch kernels
+        #: (resolved from ``options.batch``; see repro.engine.batch).
+        self.batch: bool = resolve_batch(options)
+        self._batch_stages = (
+            batchable_prefix(self.plan.pair_filters) if self.batch else ()
+        )
+        self._store: Optional[ColumnarStore] = None
+        self._target_base = 0
+
+    # --- Columnar store (batch mode) -----------------------------------
+
+    def attach_store(self, store: ColumnarStore, target_base: int = 0) -> None:
+        """Attach the run's columnar store for the batch kernels.
+
+        ``target_base`` offsets candidate positions into store rows —
+        an R×S join stores outer followed by inner, so inner position
+        ``j`` lives at store row ``target_base + j``.
+        """
+        self._store = store
+        self._target_base = target_base
+
+    def build_store(
+        self,
+        profiles: Sequence[QGramProfile],
+        labels: Sequence[LabelPair],
+        prefixes: Optional[Sequence[PrefixInfo]] = None,
+        target_base: int = 0,
+    ) -> Optional[ColumnarStore]:
+        """Build and attach the columnar store when this run batches.
+
+        Returns ``None`` (and attaches nothing) on the scalar path, so
+        drivers call it unconditionally after :meth:`prepare`.
+        """
+        if not self.batch:
+            return None
+        store = build_columnar_store(
+            profiles,
+            labels,
+            prefix_lengths=(
+                [info.length for info in prefixes]
+                if prefixes is not None
+                else None
+            ),
+        )
+        self.attach_store(store, target_base)
+        return store
+
+    def store_row(self, position: int) -> SignatureRow:
+        """The probe-side :class:`SignatureRow` for store row ``position``."""
+        assert self._store is not None
+        return self._store.row(position)
 
     # --- Collection preparation ---------------------------------------
 
@@ -315,29 +384,34 @@ class Executor:
         stats, tau = self.stats, self.tau
         r = profile.graph
         started = time.perf_counter()
-        encounters = 0
-        tests = 0
-        candidate_ids: Dict[int, bool] = {}
-        if info.prunable:
-            for key in profile.prefix_keys(info.length):
-                for j in index.probe(key):
+        if self._store is not None:
+            encounters, tests, candidate_ids = self._collect_batch(
+                profile, info, index, targets, unprunable, fallback_count
+            )
+        else:
+            encounters = 0
+            tests = 0
+            candidate_ids = {}
+            if info.prunable:
+                for key in profile.prefix_keys(info.length):
+                    for j in index.probe(key):
+                        encounters += 1
+                        if j not in candidate_ids:
+                            tests += 1
+                            if passes_size_filter(r, targets[j].graph, tau):
+                                candidate_ids[j] = True
+                for j in unprunable:
                     encounters += 1
                     if j not in candidate_ids:
                         tests += 1
                         if passes_size_filter(r, targets[j].graph, tau):
                             candidate_ids[j] = True
-            for j in unprunable:
-                encounters += 1
-                if j not in candidate_ids:
+            else:
+                for j in range(fallback_count):
+                    encounters += 1
                     tests += 1
                     if passes_size_filter(r, targets[j].graph, tau):
                         candidate_ids[j] = True
-        else:
-            for j in range(fallback_count):
-                encounters += 1
-                tests += 1
-                if passes_size_filter(r, targets[j].graph, tau):
-                    candidate_ids[j] = True
         stats.cand1 += len(candidate_ids)
         elapsed = time.perf_counter() - started
 
@@ -350,6 +424,126 @@ class Executor:
         row.survivors += len(candidate_ids)
         return candidate_ids
 
+    def _collect_batch(
+        self,
+        profile: QGramProfile,
+        info: PrefixInfo,
+        index: InvertedIndex,
+        targets: Sequence[QGramProfile],
+        unprunable: Sequence[int],
+        fallback_count: int,
+    ) -> Tuple[int, int, Dict[int, bool]]:
+        """Batch-mode candidate collection: one vectorized size filter.
+
+        Reproduces the scalar probe loop's accounting exactly: every
+        encounter counts once; a distinct id is size-*tested* once when
+        it passes but on every encounter while it keeps failing (the
+        scalar loop never memoizes failures); ``candidate_ids`` keeps
+        first-encounter order.  Blocks below
+        :data:`~repro.engine.batch.MIN_BATCH_BLOCK` are size-tested
+        scalar — same verdicts, no kernel dispatch overhead.
+        """
+        store, tau = self._store, self.tau
+        assert store is not None
+        r = profile.graph
+        candidate_ids: Dict[int, bool] = {}
+        if info.prunable:
+            encountered: List[int] = []
+            for key in profile.prefix_keys(info.length):
+                encountered.extend(index.probe(key))
+            encountered.extend(unprunable)
+            encounters = len(encountered)
+            distinct = list(dict.fromkeys(encountered))
+            if not distinct:
+                return encounters, 0, candidate_ids
+            if len(distinct) < MIN_BATCH_BLOCK:
+                passed_list = [
+                    passes_size_filter(r, targets[j].graph, tau)
+                    for j in distinct
+                ]
+            else:
+                rows = (
+                    np.asarray(distinct, dtype=np.int64) + self._target_base
+                )
+                passed_list = block_size_filter(
+                    store, r.num_vertices, r.num_edges, rows, tau
+                ).tolist()
+            tests = sum(passed_list)
+            if tests != len(distinct):
+                failing = {
+                    j for j, ok in zip(distinct, passed_list) if not ok
+                }
+                tests += sum(1 for j in encountered if j in failing)
+            for j, ok in zip(distinct, passed_list):
+                if ok:
+                    candidate_ids[j] = True
+            return encounters, tests, candidate_ids
+        if fallback_count >= MIN_BATCH_BLOCK:
+            rows = (
+                np.arange(fallback_count, dtype=np.int64) + self._target_base
+            )
+            passed = block_size_filter(
+                store, r.num_vertices, r.num_edges, rows, tau
+            )
+            for j, ok in enumerate(passed.tolist()):
+                if ok:
+                    candidate_ids[j] = True
+        else:
+            for j in range(fallback_count):
+                if passes_size_filter(r, targets[j].graph, tau):
+                    candidate_ids[j] = True
+        return fallback_count, fallback_count, candidate_ids
+
+    def batch_prefilter(
+        self, r_row: SignatureRow, js: Sequence[int]
+    ) -> Optional[BlockVerdicts]:
+        """Run the batchable cascade prefix over one candidate block.
+
+        Returns ``None`` when nothing can batch (scalar mode, no store,
+        empty cascade prefix, or a block smaller than
+        :data:`~repro.engine.batch.MIN_BATCH_BLOCK` — the caller's
+        scalar cascade computes the same verdicts without the kernel
+        dispatch overhead).  Statistics for the *batch-pruned* pairs
+        are accrued here, exactly as the scalar cascade would have: a
+        pair pruned at stage ``k`` entered stages ``0..k`` and survived
+        ``0..k-1``.  Survivors' stage rows are accrued by
+        :meth:`verify_candidate` via the hint set.
+        """
+        if (
+            self._store is None
+            or not self._batch_stages
+            or len(js) < MIN_BATCH_BLOCK
+        ):
+            return None
+        rows = np.asarray(js, dtype=np.int64)
+        if self._target_base:
+            rows = rows + self._target_base
+        verdicts = evaluate_block(
+            self._store, r_row, rows, self.tau, self._batch_stages
+        )
+        stats = self.stats
+        remaining = sum(verdicts.pruned_per_stage)
+        # zip, not enumerate: evaluate_block may exit early once the
+        # surviving block drops under the dispatch threshold, reporting
+        # fewer stages than the full batchable prefix.
+        for stage, pruned_here, seconds in zip(
+            self._batch_stages,
+            verdicts.pruned_per_stage,
+            verdicts.stage_seconds,
+        ):
+            row = self._rows[stage.name]
+            row.seconds += seconds
+            row.input += remaining
+            row.survivors += remaining - pruned_here
+            if pruned_here:
+                setattr(
+                    stats,
+                    stage.counter,
+                    getattr(stats, stage.counter) + pruned_here,
+                )
+            remaining -= pruned_here
+        return verdicts
+
     # --- Verification --------------------------------------------------
 
     def verify_candidate(
@@ -358,18 +552,25 @@ class Executor:
         p_s: QGramProfile,
         labels_r: LabelPair,
         labels_s: LabelPair,
+        hinted: Optional[FrozenSet[str]] = None,
     ) -> VerifyOutcome:
         """Run the plan's pair-filter cascade, then GED, on one pair.
 
         Statistics semantics are those of the historical
         ``verify_pair`` (prune counters, Cand-2, GED timings), plus the
         per-stage rows.  The caller owns the ``verify_time`` phase
-        timer.
+        timer.  ``hinted`` names stages the batch kernels already
+        proved passed for this pair; they are skipped (accruing their
+        input/survivor counts — the batch kernel already charged its
+        wall time to the stage row).
         """
         stats = self.stats
         ctx = PairContext(p_r, p_s, self.tau, labels_r, labels_s)
         for stage, row in self._cascade:
             row.input += 1
+            if hinted is not None and stage.name in hinted:
+                row.survivors += 1
+                continue
             started = time.perf_counter()
             tag = stage.prune(ctx)
             row.seconds += time.perf_counter() - started
@@ -487,6 +688,7 @@ def execute_self_join(
 
     started = time.perf_counter()
     profiles, prefixes, labels, _sorter = executor.prepare(graphs)
+    executor.build_store(profiles, labels, prefixes)
     stats.index_time += time.perf_counter() - started
 
     index = InvertedIndex()
@@ -510,6 +712,20 @@ def execute_self_join(
             stats.candidate_time += time.perf_counter() - started
 
             started = time.perf_counter()
+            fresh = [
+                j for j in candidate_ids
+                if journal is None or (i, j) not in journal.completed
+            ]
+            block = (
+                executor.batch_prefilter(executor.store_row(i), fresh)
+                if executor.batch and fresh
+                else None
+            )
+            block_pos = (
+                {j: t for t, j in enumerate(fresh)}
+                if block is not None
+                else {}
+            )
             for j in candidate_ids:
                 rec = (
                     journal.completed.get((i, j))
@@ -519,9 +735,22 @@ def execute_self_join(
                 if rec is None:
                     if injector is not None:
                         injector.step()
-                    outcome = executor.verify_candidate(
-                        profile, profiles[j], labels[i], labels[j]
+                    tag = (
+                        block.tags[block_pos[j]]
+                        if block is not None
+                        else None
                     )
+                    if tag is not None:
+                        outcome = VerifyOutcome(False, tag)
+                    else:
+                        outcome = executor.verify_candidate(
+                            profile, profiles[j], labels[i], labels[j],
+                            hinted=(
+                                block.hint_for(block_pos[j])
+                                if block is not None
+                                else None
+                            ),
+                        )
                     if journal is not None:
                         journal.append(record_of(i, j, outcome))
                     is_result, undecided = outcome.is_result, outcome.undecided
@@ -592,6 +821,9 @@ def execute_rs_join(
     n_outer = len(outer)
     outer_profiles = profiles_all[:n_outer]
     inner_profiles = profiles_all[n_outer:]
+    executor.build_store(
+        profiles_all, labels_all, prefixes_all, target_base=n_outer
+    )
 
     index = InvertedIndex()
     inner_unprunable: List[int] = []
@@ -626,6 +858,20 @@ def execute_rs_join(
             stats.candidate_time += time.perf_counter() - started
 
             started = time.perf_counter()
+            fresh = [
+                j for j in candidate_ids
+                if journal is None or (i, j) not in journal.completed
+            ]
+            block = (
+                executor.batch_prefilter(executor.store_row(i), fresh)
+                if executor.batch and fresh
+                else None
+            )
+            block_pos = (
+                {j: t for t, j in enumerate(fresh)}
+                if block is not None
+                else {}
+            )
             for j in candidate_ids:
                 rec = (
                     journal.completed.get((i, j))
@@ -635,10 +881,23 @@ def execute_rs_join(
                 if rec is None:
                     if injector is not None:
                         injector.step()
-                    outcome = executor.verify_candidate(
-                        profile, inner_profiles[j],
-                        labels_all[i], labels_all[n_outer + j],
+                    tag = (
+                        block.tags[block_pos[j]]
+                        if block is not None
+                        else None
                     )
+                    if tag is not None:
+                        outcome = VerifyOutcome(False, tag)
+                    else:
+                        outcome = executor.verify_candidate(
+                            profile, inner_profiles[j],
+                            labels_all[i], labels_all[n_outer + j],
+                            hinted=(
+                                block.hint_for(block_pos[j])
+                                if block is not None
+                                else None
+                            ),
+                        )
                     if journal is not None:
                         journal.append(record_of(i, j, outcome))
                     is_result, undecided = outcome.is_result, outcome.undecided

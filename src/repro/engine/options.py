@@ -80,6 +80,17 @@ class GSimJoinOptions:
         point: the field exists for cost-based filter-ordering
         experiments (see ``docs/ARCHITECTURE.md``).  Validated by
         :func:`repro.engine.plan.build_plan`.
+    batch:
+        Evaluate the size, global-label and count filters over whole
+        candidate blocks with the vectorized numpy kernels of
+        :mod:`repro.engine.batch` against the columnar signature store
+        (:mod:`repro.grams.columnar`), survivors falling through to the
+        scalar cascade with hints.  ``None`` (the default) enables
+        batching exactly when numpy is importable and ``interned=True``;
+        ``True`` requires both (a clear :class:`~repro.exceptions.
+        ParameterError` otherwise); ``False`` forces the scalar path —
+        the parity oracle, bit-identical in pairs, distances and
+        per-stage statistics (asserted by ``tests/test_batch_parity.py``).
     """
 
     q: int = 4
@@ -92,6 +103,7 @@ class GSimJoinOptions:
     verifier: str = "compiled"
     anchor_bound: bool = False
     plan: Optional[Tuple[str, ...]] = None
+    batch: Optional[bool] = None
 
     def __post_init__(self) -> None:
         """Normalize a list/sequence ``plan`` to a tuple (frozen field)."""

@@ -44,6 +44,11 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.engine.batch import (
+    MIN_BATCH_BLOCK,
+    batchable_prefix,
+    evaluate_block,
+)
 from repro.engine.executor import (
     Executor,
     record_of,
@@ -52,11 +57,12 @@ from repro.engine.executor import (
 from repro.engine.inverted_index import InvertedIndex
 from repro.engine.options import GSimJoinOptions, Sorter, validate_collection
 from repro.engine.result import BoundedPair, JoinResult, JoinStatistics
-from repro.engine.stages import BUDGETED_VERIFIERS
-from repro.engine.verify import verify_pair
+from repro.engine.stages import BUDGETED_VERIFIERS, VerifyOutcome
+from repro.engine.verify import _filters_for, verify_pair
 from repro.exceptions import ParameterError, ReproError
 from repro.ged.compiled import VerificationCache
 from repro.graph.graph import Graph
+from repro.grams.columnar import ColumnarStore
 from repro.grams.qgrams import extract_qgrams
 from repro.runtime.budget import VerificationBudget
 from repro.runtime.faults import FaultInjector, FaultPlan
@@ -85,6 +91,7 @@ def _init_worker(
     sorter: Sorter,
     budget: Optional[VerificationBudget] = None,
     fault: Optional[FaultPlan] = None,
+    store: Optional[ColumnarStore] = None,
 ) -> None:
     _worker["graphs"] = list(graphs)
     _worker["tau"] = tau
@@ -98,6 +105,20 @@ def _init_worker(
     # candidate pairs they appear in across this worker's chunks.
     _worker["cache"] = (
         VerificationCache() if options.verifier == "compiled" else None
+    )
+    # Batch mode: the parent ships its columnar store so workers run the
+    # vectorized global-label/count kernels over each chunk's same-probe
+    # runs.  Workers verify through ``verify_pair``'s default-order
+    # cascade, so the batchable prefix is derived from that same cascade
+    # — keeping the records' prune attribution identical to scalar
+    # workers.
+    _worker["store"] = store
+    _worker["batch_stages"] = (
+        batchable_prefix(
+            _filters_for(options.local_label, options.multicover)
+        )
+        if store is not None
+        else ()
     )
 
 
@@ -119,34 +140,72 @@ def _profile_of(i: int):
 
 
 def _verify_chunk(chunk: List[Tuple[int, int]]) -> List[VerificationRecord]:
-    """Verify a batch of candidate pairs inside a worker process."""
+    """Verify a batch of candidate pairs inside a worker process.
+
+    In batch mode the chunk's runs of consecutive pairs sharing one
+    probe graph are prefiltered through the vectorized kernels first;
+    batch-pruned pairs produce their (identical) prune records without
+    ever materializing q-gram profiles, and survivors verify with the
+    stages they already passed hinted away.  The fault injector still
+    steps once per pair in chunk order, so fault timing matches scalar
+    workers exactly.
+    """
     options: GSimJoinOptions = _worker["options"]
     tau: int = _worker["tau"]
     budget: Optional[VerificationBudget] = _worker["budget"]
     injector: Optional[FaultInjector] = _worker["injector"]
+    store: Optional[ColumnarStore] = _worker["store"]
+    batch_stages = _worker["batch_stages"]
     records: List[VerificationRecord] = []
-    for i, j in chunk:
-        p_i, labels_i = _profile_of(i)
-        p_j, labels_j = _profile_of(j)
-        if injector is not None:
-            injector.step()
-        outcome = verify_pair(
-            p_i,
-            p_j,
-            tau,
-            labels_i,
-            labels_j,
-            use_local_label=options.local_label,
-            improved_order=options.improved_order,
-            improved_h=options.improved_h,
-            stats=None,
-            use_multicover=options.multicover,
-            verifier=options.verifier,
-            budget=budget,
-            cache=_worker["cache"],
-            anchor_bound=options.anchor_bound,
+    pos = 0
+    while pos < len(chunk):
+        end = pos
+        while end < len(chunk) and chunk[end][0] == chunk[pos][0]:
+            end += 1
+        run = chunk[pos:end]
+        block = (
+            evaluate_block(
+                store,
+                store.row(run[0][0]),
+                [j for _, j in run],
+                tau,
+                batch_stages,
+            )
+            if store is not None
+            and batch_stages
+            and len(run) >= MIN_BATCH_BLOCK
+            else None
         )
-        records.append(record_of(i, j, outcome))
+        for t, (i, j) in enumerate(run):
+            tag = block.tags[t] if block is not None else None
+            if tag is not None:
+                if injector is not None:
+                    injector.step()
+                records.append(record_of(i, j, VerifyOutcome(False, tag)))
+                continue
+            p_i, labels_i = _profile_of(i)
+            p_j, labels_j = _profile_of(j)
+            if injector is not None:
+                injector.step()
+            outcome = verify_pair(
+                p_i,
+                p_j,
+                tau,
+                labels_i,
+                labels_j,
+                use_local_label=options.local_label,
+                improved_order=options.improved_order,
+                improved_h=options.improved_h,
+                stats=None,
+                use_multicover=options.multicover,
+                verifier=options.verifier,
+                budget=budget,
+                cache=_worker["cache"],
+                anchor_bound=options.anchor_bound,
+                hinted=block.hint_for(t) if block is not None else None,
+            )
+            records.append(record_of(i, j, outcome))
+        pos = end
     return records
 
 
@@ -264,7 +323,8 @@ def execute_parallel_join(
 
     # --- Phase 1: sequential scan, collecting candidate pairs ---------
     started = time.perf_counter()
-    profiles, prefixes, _labels, sorter = executor.prepare(graphs)
+    profiles, prefixes, labels, sorter = executor.prepare(graphs)
+    store = executor.build_store(profiles, labels, prefixes)
     stats.index_time += time.perf_counter() - started
 
     started = time.perf_counter()
@@ -309,7 +369,9 @@ def execute_parallel_join(
             todo[k : k + chunk_size] for k in range(0, len(todo), chunk_size)
         ]
         if workers == 1:
-            _init_worker(list(graphs), tau, options, sorter, budget, fault)
+            _init_worker(
+                list(graphs), tau, options, sorter, budget, fault, store
+            )
             try:
                 for chunk in chunks:
                     for rec in _verify_chunk(chunk):
@@ -328,6 +390,7 @@ def execute_parallel_join(
                 sorter=sorter,
                 budget=budget,
                 fault=fault,
+                store=store,
                 workers=workers,
                 max_retries=max_retries,
                 chunk_timeout=chunk_timeout,
@@ -377,6 +440,7 @@ def _run_chunks(
     sorter: Sorter,
     budget: Optional[VerificationBudget],
     fault: Optional[FaultPlan],
+    store: Optional[ColumnarStore],
     workers: int,
     max_retries: int,
     chunk_timeout: Optional[float],
@@ -402,7 +466,7 @@ def _run_chunks(
         executor = ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_worker,
-            initargs=(graphs, tau, options, sorter, budget, fault),
+            initargs=(graphs, tau, options, sorter, budget, fault, store),
         )
         failed: Optional[int] = None
         clean = True

@@ -35,7 +35,7 @@ from __future__ import annotations
 import time
 from collections import Counter
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import FrozenSet, Optional, Tuple
 
 from repro.engine.prefix import PrefixInfo, basic_prefix, minedit_prefix
 from repro.engine.result import JoinStatistics
@@ -488,6 +488,7 @@ def run_cascade(
     stats: Optional[JoinStatistics] = None,
     budget: Optional[VerificationBudget] = None,
     cache: Optional[VerificationCache] = None,
+    hinted: Optional[FrozenSet[str]] = None,
 ) -> VerifyOutcome:
     """Run the per-pair cascade, then GED, on one candidate pair.
 
@@ -495,8 +496,15 @@ def run_cascade(
     wrapper and the parallel workers; the executor's driver loops use
     its timed twin (:meth:`repro.engine.executor.Executor.verify_candidate`)
     which additionally accrues the per-stage statistics rows.
+
+    ``hinted`` names stages the batch kernels already proved *passed*
+    for this pair (see :mod:`repro.engine.batch`); they are skipped
+    without re-evaluation.  Sound for any cascade order — each filter's
+    verdict for a pair is order-independent.
     """
     for stage in filters:
+        if hinted is not None and stage.name in hinted:
+            continue
         tag = stage.prune(ctx)
         if tag is not None:
             if stats:

@@ -16,7 +16,7 @@ implementation.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Optional, Tuple
+from typing import FrozenSet, Optional, Tuple
 
 from repro.engine.result import JoinStatistics
 from repro.engine.stages import (
@@ -81,6 +81,7 @@ def verify_pair(
     budget: Optional[VerificationBudget] = None,
     cache: Optional[VerificationCache] = None,
     anchor_bound: bool = False,
+    hinted: Optional[FrozenSet[str]] = None,
 ) -> VerifyOutcome:
     """Run Algorithm 6 on one candidate pair.
 
@@ -109,6 +110,11 @@ def verify_pair(
     an exception or a hang.  Budgets require an A*-family verifier
     (``"astar"``/``"object"``/``"compiled"``).
 
+    ``hinted`` names cascade stages the batch kernels of
+    :mod:`repro.engine.batch` already proved passed for this pair; they
+    are skipped without re-evaluation (and without prune-counter
+    effect — a hinted stage by definition did not prune).
+
     Raises
     ------
     ParameterError
@@ -120,5 +126,6 @@ def verify_pair(
     filters = _filters_for(use_local_label, use_multicover)
     verify = _verify_for(verifier, improved_order, improved_h, anchor_bound)
     return run_cascade(
-        filters, verify, ctx, stats=stats, budget=budget, cache=cache
+        filters, verify, ctx, stats=stats, budget=budget, cache=cache,
+        hinted=hinted,
     )

@@ -1,0 +1,388 @@
+"""Columnar (CSR-style) signature store over a profile collection.
+
+The per-pair filter cascade consumes interned q-gram signatures and
+label multisets one Python object at a time; the batch kernels of
+:mod:`repro.engine.batch` instead evaluate whole candidate blocks as
+numpy array operations.  This module owns the data layout those kernels
+read: the entire collection laid out as contiguous int64 arrays.
+
+Multisets are stored *compressed*: each CSR row is a sorted run of
+distinct values with a parallel count column, so a row costs
+``O(distinct)`` elements rather than ``O(multiplicity)`` — label
+multisets over a handful of distinct labels shrink ~10×, and the
+intersection kernel (:func:`repro.engine.batch.block_multiset_intersections`)
+reduces to ``Σ min(count_row, count_r)`` over matched values.
+
+* ``sig_offsets``/``sig_values``/``sig_counts`` — compressed rows of
+  each graph's interned q-gram multiset (``sig_size`` keeps the total
+  with multiplicity);
+* ``lab_offsets``/``lab_values``/``lab_counts`` — compressed rows of
+  the *combined* vertex+edge label multisets: vertex labels interned to
+  ``2·id``, edge labels to ``2·id + 1`` (disjoint even/odd ranges), so
+  the global label filter's two per-type intersections collapse into
+  one kernel call — ``Γ_v + Γ_e = max(|Av|,|Bv|) + max(|Ae|,|Be|) −
+  |A ∩ B|`` with the per-type sizes kept in the ``vlab_len``/
+  ``elab_len`` columns;
+* parallel scalar columns ``num_vertices``, ``num_edges``, ``d_path``,
+  ``sig_size`` and ``prefix_length``, plus a ``mergeable`` flag marking
+  rows whose signature ids come from the store's vocabulary (the
+  precondition for the batch count kernel).
+
+The store is immutable after construction and safe to ship to worker
+processes (plain ndarrays and label dicts).  A graph outside the store
+(an index query, the outer side of a future out-of-core shard) enters
+the kernels through :meth:`ColumnarStore.external_row`, which maps
+unseen labels to unique *negative* ids — never colliding with the
+store's non-negative ids, so multiset intersections stay exact.
+
+Requires numpy; import the module freely, but call
+:func:`build_columnar_store` only when :data:`HAVE_NUMPY` is true (the
+engine's scalar path never touches this module).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.grams.qgrams import QGramProfile
+
+if TYPE_CHECKING:
+    import numpy as np
+else:
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - exercised by the no-numpy job
+        np = None
+
+#: Whether numpy is importable — the batch pipeline's availability flag.
+HAVE_NUMPY = np is not None
+
+__all__ = ["HAVE_NUMPY", "SignatureRow", "ColumnarStore", "build_columnar_store"]
+
+
+class SignatureRow:
+    """One graph's columns, as the batch kernels consume them.
+
+    Either a zero-copy view into a :class:`ColumnarStore` row
+    (:meth:`ColumnarStore.row`) or a store-compatible encoding of an
+    outside graph (:meth:`ColumnarStore.external_row`).
+    ``sig_values``/``sig_counts`` hold the compressed interned q-gram
+    multiset (sorted distinct ids + multiplicities, ``sig_size`` the
+    total), ``lab_values``/``lab_counts`` the compressed combined
+    even/odd label multiset (``vlab_len``/``elab_len`` the per-type
+    totals); ``mergeable`` is true when the signature is drawn from the
+    store's vocabulary so the batch count kernel may intersect it
+    against store rows.
+    """
+
+    __slots__ = (
+        "sig_values",
+        "sig_counts",
+        "sig_size",
+        "num_vertices",
+        "num_edges",
+        "d_path",
+        "lab_values",
+        "lab_counts",
+        "vlab_len",
+        "elab_len",
+        "mergeable",
+    )
+
+    def __init__(
+        self,
+        sig_values: "np.ndarray",
+        sig_counts: "np.ndarray",
+        sig_size: int,
+        num_vertices: int,
+        num_edges: int,
+        d_path: int,
+        lab_values: "np.ndarray",
+        lab_counts: "np.ndarray",
+        vlab_len: int,
+        elab_len: int,
+        mergeable: bool,
+    ) -> None:
+        """Bind one row's columns (arrays are not copied)."""
+        self.sig_values = sig_values
+        self.sig_counts = sig_counts
+        self.sig_size = sig_size
+        self.num_vertices = num_vertices
+        self.num_edges = num_edges
+        self.d_path = d_path
+        self.lab_values = lab_values
+        self.lab_counts = lab_counts
+        self.vlab_len = vlab_len
+        self.elab_len = elab_len
+        self.mergeable = mergeable
+
+
+def _compress(counts: Counter) -> Tuple["np.ndarray", "np.ndarray"]:
+    """A ``{value: count}`` mapping as sorted (values, counts) arrays."""
+    if not counts:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty
+    items = sorted(counts.items())
+    values = np.asarray([v for v, _ in items], dtype=np.int64)
+    cnts = np.asarray([c for _, c in items], dtype=np.int64)
+    return values, cnts
+
+
+def _csr(
+    rows: List[Tuple["np.ndarray", "np.ndarray"]],
+) -> Tuple["np.ndarray", "np.ndarray", "np.ndarray"]:
+    """Stack per-row (values, counts) pairs into CSR columns."""
+    offsets = np.zeros(len(rows) + 1, dtype=np.int64)
+    np.cumsum([values.shape[0] for values, _ in rows], out=offsets[1:])
+    if rows:
+        flat_values = np.concatenate([values for values, _ in rows])
+        flat_counts = np.concatenate([cnts for _, cnts in rows])
+    else:
+        flat_values = np.zeros(0, dtype=np.int64)
+        flat_counts = np.zeros(0, dtype=np.int64)
+    return offsets, flat_values, flat_counts
+
+
+def _combined_labels(
+    labels: Tuple,
+    vlabel_ids: Dict[object, int],
+    elabel_ids: Dict[object, int],
+) -> Counter:
+    """One graph's label pair as a combined even/odd id Counter.
+
+    Grows the interners as needed; vertex labels encode to ``2·id``,
+    edge labels to ``2·id + 1``.
+    """
+    combined: Counter = Counter()
+    for counts, interner, parity in zip(
+        labels, (vlabel_ids, elabel_ids), (0, 1)
+    ):
+        for label, count in counts.items():
+            combined[2 * interner.setdefault(label, len(interner)) + parity] = (
+                count
+            )
+    return combined
+
+
+class ColumnarStore:
+    """The whole collection as contiguous parallel numpy columns.
+
+    Built by :func:`build_columnar_store`; immutable afterwards.  Row
+    order is the profile order the store was built from, so join/search
+    drivers index it by the same positions they use for ``profiles``
+    (plus a caller-side base offset for concatenated collections).
+    """
+
+    __slots__ = (
+        "source",
+        "sig_offsets",
+        "sig_values",
+        "sig_counts",
+        "lab_offsets",
+        "lab_values",
+        "lab_counts",
+        "num_vertices",
+        "num_edges",
+        "d_path",
+        "sig_size",
+        "vlab_len",
+        "elab_len",
+        "prefix_length",
+        "mergeable",
+        "vlabel_ids",
+        "elabel_ids",
+    )
+
+    def __init__(
+        self,
+        source: Optional[object],
+        sig_offsets: "np.ndarray",
+        sig_values: "np.ndarray",
+        sig_counts: "np.ndarray",
+        lab_offsets: "np.ndarray",
+        lab_values: "np.ndarray",
+        lab_counts: "np.ndarray",
+        num_vertices: "np.ndarray",
+        num_edges: "np.ndarray",
+        d_path: "np.ndarray",
+        sig_size: "np.ndarray",
+        vlab_len: "np.ndarray",
+        elab_len: "np.ndarray",
+        prefix_length: "np.ndarray",
+        mergeable: "np.ndarray",
+        vlabel_ids: Dict[object, int],
+        elabel_ids: Dict[object, int],
+    ) -> None:
+        """Bind the finished columns (see :func:`build_columnar_store`)."""
+        self.source = source
+        self.sig_offsets = sig_offsets
+        self.sig_values = sig_values
+        self.sig_counts = sig_counts
+        self.lab_offsets = lab_offsets
+        self.lab_values = lab_values
+        self.lab_counts = lab_counts
+        self.num_vertices = num_vertices
+        self.num_edges = num_edges
+        self.d_path = d_path
+        self.sig_size = sig_size
+        self.vlab_len = vlab_len
+        self.elab_len = elab_len
+        self.prefix_length = prefix_length
+        self.mergeable = mergeable
+        self.vlabel_ids = vlabel_ids
+        self.elabel_ids = elabel_ids
+
+    def __len__(self) -> int:
+        """Number of rows (graphs) in the store."""
+        return len(self.num_vertices)
+
+    def row(self, i: int) -> SignatureRow:
+        """Row ``i`` as a :class:`SignatureRow` of zero-copy views.
+
+        Scalar fields stay numpy scalars (no ``int()`` round-trips —
+        the kernels only feed them back into array arithmetic, and the
+        conversion cost is measurable at one row per probe).
+        """
+        sig_span = slice(self.sig_offsets[i], self.sig_offsets[i + 1])
+        lab_span = slice(self.lab_offsets[i], self.lab_offsets[i + 1])
+        return SignatureRow(
+            sig_values=self.sig_values[sig_span],
+            sig_counts=self.sig_counts[sig_span],
+            sig_size=self.sig_size[i],
+            num_vertices=self.num_vertices[i],
+            num_edges=self.num_edges[i],
+            d_path=self.d_path[i],
+            lab_values=self.lab_values[lab_span],
+            lab_counts=self.lab_counts[lab_span],
+            vlab_len=self.vlab_len[i],
+            elab_len=self.elab_len[i],
+            mergeable=bool(self.mergeable[i]),
+        )
+
+    def external_row(self, profile: QGramProfile, labels: Tuple) -> SignatureRow:
+        """Encode a graph *outside* the store for batching against it.
+
+        ``labels`` is the graph's ``(vertex, edge)`` label-multiset
+        pair, as the drivers cache it.  Labels the store never saw map
+        to unique negative ids of the matching parity (the same unseen
+        label always maps to the same negative id within this row), so
+        they can never match a store id and the intersection kernels
+        stay exact.  The row is ``mergeable`` only when the profile
+        carries a signature from the store's own vocabulary.
+        """
+        mergeable = (
+            profile.signature is not None
+            and self.source is not None
+            and profile.signature_source is self.source
+        )
+        if mergeable:
+            sig_values, sig_counts = _compress(Counter(profile.signature))
+        else:
+            sig_values = sig_counts = np.zeros(0, dtype=np.int64)
+        combined: Counter = Counter()
+        lens = []
+        for counts, interner, parity in zip(
+            labels, (self.vlabel_ids, self.elabel_ids), (0, 1)
+        ):
+            unseen: Dict[object, int] = {}
+            size = 0
+            for label, count in counts.items():
+                label_id = interner.get(label)
+                if label_id is None:
+                    label_id = unseen.setdefault(label, -1 - len(unseen))
+                combined[2 * label_id + parity] = count
+                size += count
+            lens.append(size)
+        lab_values, lab_counts = _compress(combined)
+        g = profile.graph
+        return SignatureRow(
+            sig_values=sig_values,
+            sig_counts=sig_counts,
+            sig_size=profile.size,
+            num_vertices=g.num_vertices,
+            num_edges=g.num_edges,
+            d_path=profile.d_path,
+            lab_values=lab_values,
+            lab_counts=lab_counts,
+            vlab_len=lens[0],
+            elab_len=lens[1],
+            mergeable=mergeable,
+        )
+
+
+def build_columnar_store(
+    profiles: Sequence[QGramProfile],
+    labels: Sequence[Tuple],
+    prefix_lengths: Optional[Sequence[int]] = None,
+) -> ColumnarStore:
+    """Lay ``profiles`` (with their cached label pairs) out columnar.
+
+    ``labels[i]`` is the ``(vertex, edge)`` label-multiset pair of
+    ``profiles[i].graph``; ``prefix_lengths`` optionally records each
+    profile's chosen prefix length (zero when not supplied — the column
+    is informational, no kernel reads it).  The store's signature
+    vocabulary is the profiles' common ``signature_source``; rows whose
+    profile carries no signature from it are stored with an empty
+    signature segment and ``mergeable=False`` (the batch count kernel
+    skips them, the scalar cascade takes over).
+    """
+    source = next(
+        (p.signature_source for p in profiles if p.signature is not None), None
+    )
+    n = len(profiles)
+    sig_rows: List[Tuple["np.ndarray", "np.ndarray"]] = []
+    lab_rows: List[Tuple["np.ndarray", "np.ndarray"]] = []
+    vlabel_ids: Dict[object, int] = {}
+    elabel_ids: Dict[object, int] = {}
+    num_vertices = np.zeros(n, dtype=np.int64)
+    num_edges = np.zeros(n, dtype=np.int64)
+    d_path = np.zeros(n, dtype=np.int64)
+    sig_size = np.zeros(n, dtype=np.int64)
+    vlab_len = np.zeros(n, dtype=np.int64)
+    elab_len = np.zeros(n, dtype=np.int64)
+    prefix_length = np.zeros(n, dtype=np.int64)
+    mergeable = np.zeros(n, dtype=bool)
+    for i, profile in enumerate(profiles):
+        g = profile.graph
+        num_vertices[i] = g.num_vertices
+        num_edges[i] = g.num_edges
+        d_path[i] = profile.d_path
+        sig_size[i] = profile.size
+        row_mergeable = (
+            profile.signature is not None
+            and source is not None
+            and profile.signature_source is source
+        )
+        mergeable[i] = row_mergeable
+        sig_rows.append(
+            _compress(Counter(profile.signature) if row_mergeable else Counter())
+        )
+        vlab_len[i] = sum(labels[i][0].values())
+        elab_len[i] = sum(labels[i][1].values())
+        lab_rows.append(
+            _compress(_combined_labels(labels[i], vlabel_ids, elabel_ids))
+        )
+    if prefix_lengths is not None:
+        prefix_length[:] = np.asarray(prefix_lengths, dtype=np.int64)
+    sig_offsets, sig_values, sig_counts = _csr(sig_rows)
+    lab_offsets, lab_values, lab_counts = _csr(lab_rows)
+    return ColumnarStore(
+        source=source,
+        sig_offsets=sig_offsets,
+        sig_values=sig_values,
+        sig_counts=sig_counts,
+        lab_offsets=lab_offsets,
+        lab_values=lab_values,
+        lab_counts=lab_counts,
+        num_vertices=num_vertices,
+        num_edges=num_edges,
+        d_path=d_path,
+        sig_size=sig_size,
+        vlab_len=vlab_len,
+        elab_len=elab_len,
+        prefix_length=prefix_length,
+        mergeable=mergeable,
+        vlabel_ids=vlabel_ids,
+        elabel_ids=elabel_ids,
+    )

@@ -1,0 +1,13 @@
+"""Fixture: hot-path allocations inside the batch kernel loops."""
+
+
+def evaluate(store, blocks, tau):
+    verdicts = []
+    for rows in blocks:
+        gathered = list(store.sig_flat)
+        lens = dict(store.sig_offsets)
+        verdicts.append((gathered, lens))
+    while blocks:
+        snapshot = tuple(verdicts)  # repro: ignore[hot-path-alloc]
+        blocks.pop()
+    return verdicts

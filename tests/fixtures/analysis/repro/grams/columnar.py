@@ -1,0 +1,14 @@
+"""Fixture: hot-path allocations inside the columnar store builder."""
+
+
+def build(profiles, labels):
+    rows = []
+    for profile in profiles:
+        sig = list(profile.signature)
+        counts = dict(labels)
+        grams = extract_qgrams(profile, 3)  # noqa: F821
+        rows.append((sig, counts, grams))
+    while rows:
+        flat = list(rows)  # repro: ignore[hot-path-alloc]
+        rows.pop()
+    return rows

@@ -256,10 +256,12 @@ def _journal_meta(graphs, tau, options, budget):
             for g in graphs
         ]
     ).encode("utf-8")
-    # The pre-refactor GSimJoinOptions had no ``plan`` field; strip it so
-    # the header reproduces the historical journal byte-for-byte.
+    # The pre-refactor GSimJoinOptions had no ``plan`` or ``batch`` field;
+    # strip them so the header reproduces the historical journal
+    # byte-for-byte.
     options_dict = dataclasses.asdict(options)
     options_dict.pop("plan", None)
+    options_dict.pop("batch", None)
     return {
         "kind": "self-join",
         "n": len(graphs),

@@ -156,12 +156,30 @@ def test_hot_path_covers_engine_executor():
     assert lines_for("hot-path-alloc", path) == [7, 8, 9]
 
 
+def test_hot_path_covers_batch_kernels():
+    """The rule extends to the vectorized batch kernels (engine.batch)."""
+    path = FIXTURES / "repro" / "engine" / "batch.py"
+    # 7-8: copies in the for loop; 11 carries
+    # `# repro: ignore[hot-path-alloc]` and is suppressed.
+    assert lines_for("hot-path-alloc", path) == [7, 8]
+
+
+def test_hot_path_covers_columnar_store():
+    """The rule extends to the columnar store builder (grams.columnar)."""
+    path = FIXTURES / "repro" / "grams" / "columnar.py"
+    # 7-8: copies in the for loop; 9: extract_qgrams in the for loop;
+    # 12 carries `# repro: ignore[hot-path-alloc]` and is suppressed.
+    assert lines_for("hot-path-alloc", path) == [7, 8, 9]
+
+
 def test_hot_path_rule_targets_compiled_module():
     from repro.analysis.rules.hot_path import TARGET_MODULES
 
     assert "repro.ged.compiled" in TARGET_MODULES
     assert "repro.engine.executor" in TARGET_MODULES
     assert "repro.engine.stages" in TARGET_MODULES
+    assert "repro.engine.batch" in TARGET_MODULES
+    assert "repro.grams.columnar" in TARGET_MODULES
 
 
 # ----------------------------------------------------------- float equality

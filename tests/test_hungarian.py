@@ -58,7 +58,10 @@ class TestAgainstScipy:
         st.integers(min_value=0, max_value=2**31 - 1),
     )
     def test_matches_linear_sum_assignment(self, n, extra, seed):
-        from scipy.optimize import linear_sum_assignment
+        scipy_optimize = pytest.importorskip(
+            "scipy.optimize", exc_type=ImportError
+        )
+        linear_sum_assignment = scipy_optimize.linear_sum_assignment
 
         rng = random.Random(seed)
         m = n + extra
