@@ -46,6 +46,8 @@ from repro.core import (
     gsim_join,
     gsim_join_parallel,
     gsim_join_rs,
+    gsim_join_sharded,
+    result_fingerprint,
 )
 from repro.exceptions import (
     CheckpointError,
@@ -78,6 +80,8 @@ __all__ = [
     "gsim_join",
     "gsim_join_rs",
     "gsim_join_parallel",
+    "gsim_join_sharded",
+    "result_fingerprint",
     "GSimIndex",
     "GSimJoinOptions",
     "JoinResult",

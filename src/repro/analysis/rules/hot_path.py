@@ -4,7 +4,9 @@ The engine's driver loops (``engine.executor``, ``engine.stages``),
 the vectorized batch kernels ``engine.batch``, their thin ``core``
 wrappers (``core.join``, ``core.search``), ``ged.astar``, the compiled
 verifier ``ged.compiled``, the interned filter kernels ``grams.vocab``
-/ ``grams.mismatch`` and the columnar store builder ``grams.columnar``
+/ ``grams.mismatch``, the columnar store builder ``grams.columnar``
+and the out-of-core shard drivers (``engine.sharded`` per candidate,
+``runtime.sharded`` per spilled record)
 are the per-pair / per-state / per-block inner loops of the whole
 system; an accidental
 ``list(...)``/``dict(...)``/``set(...)`` copy or a repeated
@@ -36,12 +38,14 @@ TARGET_MODULES = {
     "repro.core.search",
     "repro.engine.batch",
     "repro.engine.executor",
+    "repro.engine.sharded",
     "repro.engine.stages",
     "repro.ged.astar",
     "repro.ged.compiled",
     "repro.grams.columnar",
     "repro.grams.mismatch",
     "repro.grams.vocab",
+    "repro.runtime.sharded",
 }
 
 _COPY_BUILTINS = {"list", "dict", "set", "frozenset", "tuple"}
@@ -57,8 +61,8 @@ class HotPathAllocationRule(Rule):
     description = (
         "flag list()/dict() copies and extract_qgrams calls inside loops "
         "in core.join/core.search/engine.batch/engine.executor/"
-        "engine.stages/ged.astar/ged.compiled/grams.columnar/"
-        "grams.mismatch/grams.vocab"
+        "engine.sharded/engine.stages/ged.astar/ged.compiled/"
+        "grams.columnar/grams.mismatch/grams.vocab/runtime.sharded"
     )
 
     def check(self, module: ModuleInfo) -> Iterator[Finding]:

@@ -87,6 +87,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="chunk re-dispatches before in-process fallback (workers > 1)",
     )
     join.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="out-of-core sharded join over N size bands (streams the "
+        "collection; requires --spill-dir)",
+    )
+    join.add_argument(
+        "--spill-dir",
+        default=None,
+        metavar="DIR",
+        help="working directory for the sharded join: shard files, "
+        "per-pair journals, spill queues and the recovery manifest",
+    )
+    join.add_argument(
+        "--memory-budget-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="cap resident graph data; over-budget shard pairs degrade "
+        "to smaller sub-shards (sharded join only)",
+    )
+    join.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume the sharded-join run recorded in --spill-dir after "
+        "a crash or kill",
+    )
+    join.add_argument(
         "--explain-plan",
         action="store_true",
         help="print the staged execution plan and the per-stage "
@@ -139,8 +168,49 @@ def _find_graph(graphs, token: str):
     raise ReproError(f"no graph with id {token!r}")
 
 
+def _print_result(result, args) -> int:
+    for rid, sid in result.pairs:
+        print(f"{rid}\t{sid}")
+    if args.json_path:
+        from repro.reporting import save_result_json
+
+        save_result_json(result, args.json_path)
+    if getattr(args, "explain_plan", False):
+        print(result.stats.stage_table(), file=sys.stderr)
+    if not args.quiet:
+        print(result.stats.summary(), file=sys.stderr)
+    return 0
+
+
+def _cmd_join_sharded(args, budget) -> int:
+    if args.spill_dir is None:
+        raise ReproError("--shards requires --spill-dir")
+    if args.algorithm != "gsimjoin":
+        raise ReproError("--shards requires --algorithm gsimjoin")
+    if args.checkpoint is not None:
+        raise ReproError(
+            "--shards journals per shard pair under --spill-dir; "
+            "--checkpoint does not apply"
+        )
+    from repro.core.sharded import gsim_join_sharded
+
+    options = getattr(GSimJoinOptions, args.variant)(q=args.q)
+    result = gsim_join_sharded(
+        args.collection,
+        args.tau,
+        options=options,
+        spill_dir=args.spill_dir,
+        shards=args.shards,
+        memory_budget_mb=args.memory_budget_mb,
+        resume=args.resume,
+        budget=budget,
+        workers=args.workers,
+        max_retries=args.max_retries,
+    )
+    return _print_result(result, args)
+
+
 def _cmd_join(args) -> int:
-    graphs = _load(args.collection)
     budget = None
     if args.budget_expansions is not None or args.budget_seconds is not None:
         budget = VerificationBudget(args.budget_expansions, args.budget_seconds)
@@ -150,6 +220,14 @@ def _cmd_join(args) -> int:
         raise ReproError(
             "--budget-*/--checkpoint/--explain-plan require --algorithm gsimjoin"
         )
+    if args.shards is not None:
+        # Out-of-core path: the collection file is streamed, not loaded.
+        return _cmd_join_sharded(args, budget)
+    if args.resume or args.spill_dir or args.memory_budget_mb is not None:
+        raise ReproError(
+            "--spill-dir/--memory-budget-mb/--resume require --shards"
+        )
+    graphs = _load(args.collection)
     if args.algorithm == "gsimjoin":
         options = getattr(GSimJoinOptions, args.variant)(q=args.q)
         if args.explain_plan:
@@ -182,17 +260,7 @@ def _cmd_join(args) -> int:
         result = appfull_join(graphs, args.tau)
     else:
         result = naive_join(graphs, args.tau)
-    for rid, sid in result.pairs:
-        print(f"{rid}\t{sid}")
-    if args.json_path:
-        from repro.reporting import save_result_json
-
-        save_result_json(result, args.json_path)
-    if getattr(args, "explain_plan", False):
-        print(result.stats.stage_table(), file=sys.stderr)
-    if not args.quiet:
-        print(result.stats.summary(), file=sys.stderr)
-    return 0
+    return _print_result(result, args)
 
 
 def _cmd_ged(args) -> int:

@@ -30,12 +30,15 @@ from repro.core.result import (
     StageStatistics,
 )
 from repro.core.search import GSimIndex
+from repro.core.sharded import gsim_join_sharded, result_fingerprint
 from repro.core.verify import VerifyOutcome, verify_pair
 
 __all__ = [
     "gsim_join",
     "gsim_join_rs",
     "gsim_join_parallel",
+    "gsim_join_sharded",
+    "result_fingerprint",
     "GSimIndex",
     "GSimJoinOptions",
     "BoundedPair",

@@ -28,6 +28,7 @@ from repro.engine.executor import (
 from repro.engine.options import GSimJoinOptions
 from repro.engine.parallel import execute_parallel_join
 from repro.engine.plan import DEFAULT_FILTER_ORDER, JoinPlan, build_plan
+from repro.engine.sharded import execute_sharded_join, result_fingerprint
 from repro.engine.result import (
     BoundedPair,
     JoinResult,
@@ -41,6 +42,8 @@ __all__ = [
     "execute_self_join",
     "execute_rs_join",
     "execute_parallel_join",
+    "execute_sharded_join",
+    "result_fingerprint",
     "GSimJoinOptions",
     "JoinPlan",
     "build_plan",

@@ -1,0 +1,942 @@
+"""Out-of-core sharded self-join with bounded memory and crash recovery.
+
+:func:`execute_sharded_join` runs Algorithm 1's join over a collection
+that need not fit in memory.  The collection is streamed twice
+(:func:`repro.graph.io.load_graphs_iter`): once to learn every graph's
+size ``|V| + |E|`` and fingerprint the run, once to scatter the graphs
+into *size bands* — contiguous ranges of the size-sorted order, written
+as shard files under the spill directory.  Banding makes the paper's
+size filter a *partition-level* prune: a pair of bands whose size gap
+exceeds ``tau`` cannot contain a single qualifying pair
+(``||V_r|−|V_s|| + ||E_r|−|E_s|| ≥ |size_r − size_s| > τ``), so the
+whole shard pair is skipped before either file is opened.
+
+Each qualifying shard pair is then processed independently, and the
+per-pair artifacts make the run both *bounded* and *recoverable*:
+
+* residency is charged against a :class:`~repro.runtime.sharded.
+  MemoryBudget` before each load; exceeding it raises
+  :class:`~repro.exceptions.MemoryBudgetError`, which the driver treats
+  as a degradation signal — the shard pair retries at the next *split
+  level*, processing sub-shard combos small enough to fit (the inverted
+  index is rebuilt per combo, so its residency is bounded by the combo,
+  never the collection);
+* verified outcomes stream through a per-pair
+  :class:`~repro.runtime.journal.JoinJournal` keyed by **global scan
+  positions** ``(hi, lo)`` — stable across split levels, so work
+  survives degradation and crashes alike;
+* candidates and results spill to disk-backed JSONL queues
+  (:class:`~repro.runtime.sharded.SpillQueue`), never accumulating in
+  memory;
+* the run manifest (:class:`~repro.runtime.sharded.ShardManifest`) is
+  updated atomically at every lifecycle transition; a crash —
+  ``kill -9``, OOM, ENOSPC — at any point resumes by re-running only
+  the shard pairs not yet ``done`` (their journals replay the verified
+  prefix), then merging, bit-identically to an uninterrupted run.
+
+Transient I/O failures (``OSError``, including injected ENOSPC) retry
+the shard pair with capped exponential backoff up to ``max_retries``
+before propagating.  The deterministic merge orders records by global
+``(lo, hi)`` position, so result order is stable across shard counts,
+split levels and resume boundaries; result *pairs* are invariant under
+all of them because every per-pair filter is a sound GED lower bound
+(only candidate counts and prune attribution shift with the sharding —
+see ``docs/ROBUSTNESS.md``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import time
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.engine.executor import Executor, _options_meta, record_of
+from repro.engine.inverted_index import InvertedIndex
+from repro.engine.options import GSimJoinOptions
+from repro.engine.parallel import DEFAULT_FALLBACK_BUDGET, _run_chunks
+from repro.engine.result import BoundedPair, JoinResult, JoinStatistics, StageStatistics
+from repro.engine.stages import BUDGETED_VERIFIERS
+from repro.exceptions import CheckpointError, MemoryBudgetError, ParameterError
+from repro.graph.graph import Graph
+from repro.graph.io import dumps_graphs, load_graphs_iter
+from repro.runtime.budget import VerificationBudget
+from repro.runtime.faults import FaultInjector, FaultPlan
+from repro.runtime.journal import JoinJournal, VerificationRecord
+from repro.runtime.sharded import (
+    PAIR_DONE,
+    PAIR_RUNNING,
+    MemoryBudget,
+    ShardManifest,
+    SpillQueue,
+    plan_bands,
+    qualifying_shard_pairs,
+)
+
+__all__ = ["execute_sharded_join", "sharded_join_meta", "result_fingerprint"]
+
+#: Logical residency estimate per graph: fixed object overhead plus a
+#: per-size-unit cost covering the graph, its q-gram profile and its
+#: share of the combo's inverted index.  Deliberately coarse — the
+#: budget bounds *working-set shape* (how many graphs are resident at
+#: once), it is not an allocator.
+_GRAPH_OVERHEAD_BYTES = 4096
+_BYTES_PER_SIZE_UNIT = 1536
+
+#: Cap on the exponential shard-pair retry backoff (seconds).
+_MAX_BACKOFF = 5.0
+
+#: Candidate pairs per worker chunk when ``workers > 1``.
+_CHUNK_SIZE = 8
+
+_MANIFEST_NAME = "manifest.json"
+
+
+def _estimate_bytes(sizes: Sequence[int]) -> int:
+    """Logical residency of loading the graphs with these sizes."""
+    return sum(
+        _GRAPH_OVERHEAD_BYTES + _BYTES_PER_SIZE_UNIT * size for size in sizes
+    )
+
+
+def sharded_join_meta(
+    n: int,
+    ids_sha: str,
+    tau: int,
+    options: GSimJoinOptions,
+    budget: Optional[VerificationBudget],
+    shards: int,
+) -> dict:
+    """The manifest meta identifying one sharded self-join run.
+
+    Everything that changes the run's journal keys or result semantics
+    is in here, so :meth:`~repro.runtime.sharded.ShardManifest.load`
+    refuses to resume across a changed collection, threshold, option
+    set or shard count.
+    """
+    return {
+        "kind": "sharded-self-join",
+        "n": n,
+        "tau": tau,
+        "shards": shards,
+        "ids_sha": ids_sha,
+        "options": _options_meta(options),
+        "budget": (
+            None
+            if budget is None
+            else [budget.max_expansions, budget.max_seconds]
+        ),
+    }
+
+
+def result_fingerprint(result: JoinResult) -> str:
+    """An order-insensitive sha256 over a result's pairs and undecided.
+
+    The cross-driver equivalence check: the sharded join under any
+    shard count, split level, memory budget or resume boundary must
+    fingerprint identically to the in-memory :func:`~repro.core.join.
+    gsim_join` on the same collection (statistics counters are *not*
+    included — candidate counts legitimately differ across shardings;
+    the result set may not).
+    """
+    payload = {
+        "pairs": sorted(
+            ([r, s] for r, s in result.pairs),
+            key=lambda p: (str(p[0]), str(p[1])),
+        ),
+        "undecided": sorted(
+            ([u.r_id, u.s_id, u.lower, u.upper, u.reason] for u in result.undecided),
+            key=lambda p: (str(p[0]), str(p[1])),
+        ),
+    }
+    blob = json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+# --- Partitioning -------------------------------------------------------
+
+Source = Union[str, os.PathLike, Sequence[Graph]]
+
+
+def _scan_source(source: Source, on_error: str) -> Iterator[Graph]:
+    """One streaming pass over the collection (file path or sequence)."""
+    if isinstance(source, (str, os.PathLike)):
+        return load_graphs_iter(source, on_error=on_error)
+    return iter(source)
+
+
+def _survey(source: Source, on_error: str) -> Tuple[List[int], str]:
+    """Pass 1: per-graph sizes plus the run fingerprint, validated.
+
+    Streams the collection once, holding only scalars per graph.
+    Raises :class:`~repro.exceptions.ParameterError` on missing or
+    duplicate ids and mixed directedness — the same contract as
+    :func:`repro.engine.options.validate_collection`, enforced without
+    materializing the collection.
+    """
+    sizes: List[int] = []
+    seen_ids = set()
+    directedness = set()
+    hasher = hashlib.sha256()
+    for g in _scan_source(source, on_error):
+        if g.graph_id is None:
+            raise ParameterError(
+                "all graphs need ids; use repro.graph.assign_ids first "
+                "(or ids in the collection file)"
+            )
+        if g.graph_id in seen_ids:
+            raise ParameterError(f"duplicate graph id {g.graph_id!r}")
+        seen_ids.add(g.graph_id)
+        directedness.add(g.is_directed)
+        if len(directedness) > 1:
+            raise ParameterError(
+                "cannot mix directed and undirected graphs in a join"
+            )
+        sizes.append(g.num_vertices + g.num_edges)
+        hasher.update(
+            repr(
+                (
+                    g.graph_id,
+                    g.num_vertices,
+                    g.num_edges,
+                    sorted(g.vertex_label_multiset().items()),
+                )
+            ).encode("utf-8")
+        )
+        hasher.update(b"\n")
+    return sizes, hasher.hexdigest()[:16]
+
+
+def _write_shards(
+    source: Source,
+    on_error: str,
+    sizes: Sequence[int],
+    shards: int,
+    spill_dir: str,
+) -> List[dict]:
+    """Pass 2: scatter the collection into size-band shard files.
+
+    Bands come from :func:`~repro.runtime.sharded.plan_bands`; each
+    band's positions are stored *ascending*, which is also the order
+    its graphs appear in the shard file (the pass streams the
+    collection in position order), so a sub-shard is simply a
+    contiguous slice of the file.  Files are fsynced before this
+    function returns — the caller records the partition in the manifest
+    only afterwards, so a recorded partition always has its files.
+    """
+    bands = [sorted(band) for band in plan_bands(sizes, shards)]
+    band_of = {}
+    for k, band in enumerate(bands):
+        for position in band:
+            band_of[position] = k
+    records: List[dict] = []
+    handles = []
+    try:
+        for k, band in enumerate(bands):
+            name = f"shard-{k}.txt"
+            handles.append(
+                open(os.path.join(spill_dir, name), "w", encoding="utf-8")
+            )
+            records.append(
+                {
+                    "index": k,
+                    "file": name,
+                    "positions": band,
+                    "sizes": [sizes[p] for p in band],
+                    "min_size": min(sizes[p] for p in band),
+                    "max_size": max(sizes[p] for p in band),
+                }
+            )
+        for position, g in enumerate(_scan_source(source, on_error)):
+            handles[band_of[position]].write(dumps_graphs([g]))
+        for handle in handles:
+            handle.flush()
+            os.fsync(handle.fileno())
+    finally:
+        for handle in handles:
+            handle.close()
+    return records
+
+
+def _load_slice(path: str, start: int, stop: int) -> List[Graph]:
+    """Load shard-file graphs with storage indices in ``[start, stop)``."""
+    out: List[Graph] = []
+    for idx, g in enumerate(load_graphs_iter(path)):
+        if idx >= stop:
+            break
+        if idx >= start:
+            out.append(g)
+    return out
+
+
+def _split_ranges(n: int, parts: int) -> List[Tuple[int, int]]:
+    """``parts`` contiguous, non-empty, near-equal ranges covering ``n``."""
+    base, extra = divmod(n, parts)
+    ranges: List[Tuple[int, int]] = []
+    start = 0
+    for k in range(parts):
+        width = base + (1 if k < extra else 0)
+        ranges.append((start, start + width))
+        start += width
+    return ranges
+
+
+def _combos(
+    n_a: int, n_b: int, is_self: bool, split: int
+) -> List[Tuple[Tuple[int, int], Tuple[int, int]]]:
+    """The sub-shard range combos of one shard pair at ``split`` level.
+
+    Level ``L`` divides each shard into ``min(2**L, len)`` contiguous
+    sub-shards.  A self pair pairs every unordered sub-shard combo
+    (``u <= v``; the diagonal runs the triangular self-scan), a cross
+    pair the full sub-shard product — so every global graph pair of the
+    shard pair falls in exactly one combo at every split level.
+    """
+    parts_a = _split_ranges(n_a, min(2**split, n_a))
+    if is_self:
+        return [
+            (parts_a[u], parts_a[v])
+            for u in range(len(parts_a))
+            for v in range(u, len(parts_a))
+        ]
+    parts_b = _split_ranges(n_b, min(2**split, n_b))
+    return [(ra, rb) for ra in parts_a for rb in parts_b]
+
+
+# --- Per-shard-pair processing ------------------------------------------
+
+
+def _pair_key(a: int, b: int) -> str:
+    return f"{a}-{b}"
+
+
+def _pair_meta(run_meta: dict, key: str) -> dict:
+    """The journal header of one shard pair's journal."""
+    return {"kind": "sharded-pair", "pair": key, "run": run_meta}
+
+
+def _step_io(injector: Optional[FaultInjector]) -> None:
+    if injector is not None:
+        injector.step_io()
+
+
+def _emit_result(
+    res_q: SpillQueue,
+    rec: VerificationRecord,
+    id_lo: object,
+    id_hi: object,
+    injector: Optional[FaultInjector],
+) -> Tuple[int, int]:
+    """Spill one verified outcome's result/undecided contribution.
+
+    Returns the ``(results, undecided)`` delta (0/1 each).  Rejected
+    pairs spill nothing — the journal already proves they were decided.
+    """
+    if rec.is_result:
+        _step_io(injector)
+        res_q.append(
+            {"kind": "pair", "lo": rec.j, "hi": rec.i,
+             "id_lo": id_lo, "id_hi": id_hi}
+        )
+        return 1, 0
+    if rec.undecided:
+        _step_io(injector)
+        res_q.append(
+            {
+                "kind": "undecided",
+                "lo": rec.j,
+                "hi": rec.i,
+                "id_lo": id_lo,
+                "id_hi": id_hi,
+                "lower": rec.lower,
+                "upper": rec.upper,
+                "reason": "error" if rec.pruned_by == "error" else "budget",
+            }
+        )
+        return 0, 1
+    return 0, 0
+
+
+class _ComboContext:
+    """Everything one sub-shard combo's verification loop needs."""
+
+    def __init__(
+        self,
+        tau: int,
+        options: GSimJoinOptions,
+        budget: Optional[VerificationBudget],
+        pair_stats: JoinStatistics,
+        journal: JoinJournal,
+        cand_q: SpillQueue,
+        res_q: SpillQueue,
+        injector: Optional[FaultInjector],
+        workers: int,
+        max_retries: int,
+        retry_backoff: float,
+        chunk_timeout: Optional[float],
+    ) -> None:
+        self.tau = tau
+        self.options = options
+        self.budget = budget
+        self.pair_stats = pair_stats
+        self.journal = journal
+        self.cand_q = cand_q
+        self.res_q = res_q
+        self.injector = injector
+        self.workers = workers
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.chunk_timeout = chunk_timeout
+        self.results = 0
+        self.undecided = 0
+
+    def handle_candidate(
+        self,
+        executor: Executor,
+        profiles: Sequence,
+        labels: Sequence,
+        r_local: int,
+        s_local: int,
+        lo: int,
+        hi: int,
+        id_lo: object,
+        id_hi: object,
+        todo: List[Tuple[int, int]],
+        todo_keys: Dict[Tuple[int, int], Tuple[int, int, object, object]],
+    ) -> None:
+        """Spill one discovered candidate, then replay/verify/defer it.
+
+        ``r_local``/``s_local`` index the combo's combined graph list
+        (``r`` = the later graph by global position, matching the
+        in-memory scan's probe orientation); ``(hi, lo)`` is the global
+        journal key.  With ``workers > 1`` fresh pairs are deferred to
+        the worker pool via ``todo``.
+        """
+        _step_io(self.injector)
+        self.cand_q.append({"lo": lo, "hi": hi})
+        rec = self.journal.completed.get((hi, lo))
+        if rec is None and self.workers > 1:
+            if self.injector is not None:
+                self.injector.step()
+            todo.append((r_local, s_local))
+            todo_keys[(r_local, s_local)] = (hi, lo, id_lo, id_hi)
+            return
+        if rec is None:
+            if self.injector is not None:
+                self.injector.step()
+            outcome = executor.verify_candidate(
+                profiles[r_local], profiles[s_local],
+                labels[r_local], labels[s_local],
+            )
+            rec = record_of(hi, lo, outcome)
+            _step_io(self.injector)
+            self.journal.append(rec)
+        else:
+            executor.replay(rec)
+        d_res, d_und = _emit_result(self.res_q, rec, id_lo, id_hi, self.injector)
+        self.results += d_res
+        self.undecided += d_und
+
+    def drain_workers(
+        self,
+        executor: Executor,
+        graphs: Sequence[Graph],
+        sorter,
+        todo: List[Tuple[int, int]],
+        todo_keys: Dict[Tuple[int, int], Tuple[int, int, object, object]],
+    ) -> None:
+        """Verify the deferred pairs on the process pool and accrue them.
+
+        Reuses the parallel executor's fault-tolerant chunk runner
+        (pool teardown + re-dispatch + in-process fallback), with no
+        worker-side fault injection — the parent owns the fault
+        schedule, stepping once per pair at dispatch.
+        """
+        if not todo:
+            return
+        chunks = [
+            todo[k : k + _CHUNK_SIZE] for k in range(0, len(todo), _CHUNK_SIZE)
+        ]
+        dfs_fallback = self.options.verifier not in BUDGETED_VERIFIERS
+        chunk_records = _run_chunks(
+            chunks,
+            graphs=list(graphs),
+            tau=self.tau,
+            options=self.options,
+            sorter=sorter,
+            budget=self.budget,
+            fault=None,
+            store=None,
+            workers=self.workers,
+            max_retries=self.max_retries,
+            chunk_timeout=self.chunk_timeout,
+            retry_backoff=self.retry_backoff,
+            fallback_budget=(
+                None
+                if dfs_fallback
+                else (self.budget if self.budget is not None
+                      else DEFAULT_FALLBACK_BUDGET)
+            ),
+            stats=self.pair_stats,
+        )
+        for idx in range(len(chunks)):
+            for rec in chunk_records[idx]:
+                hi, lo, id_lo, id_hi = todo_keys[(rec.i, rec.j)]
+                grec = dataclasses.replace(rec, i=hi, j=lo)
+                executor.apply_worker_record(grec)
+                _step_io(self.injector)
+                self.journal.append(grec)
+                d_res, d_und = _emit_result(
+                    self.res_q, grec, id_lo, id_hi, self.injector
+                )
+                self.results += d_res
+                self.undecided += d_und
+
+
+def _run_self_combo(ctx: _ComboContext, positions: Sequence[int],
+                    graphs: Sequence[Graph]) -> None:
+    """Triangular self-scan of one sub-shard (Algorithm 1 shape).
+
+    ``positions`` ascend, so probe ``i`` vs earlier ``j`` always gives
+    ``positions[j] < positions[i]`` — the global ``(hi, lo)`` key falls
+    straight out of the scan.
+    """
+    stats = ctx.pair_stats
+    executor = Executor(ctx.tau, ctx.options, stats, budget=ctx.budget)
+    started = time.perf_counter()
+    profiles, prefixes, labels, sorter = executor.prepare(graphs)
+    stats.index_time += time.perf_counter() - started
+
+    index = InvertedIndex()
+    unprunable: List[int] = []
+    todo: List[Tuple[int, int]] = []
+    todo_keys: Dict[Tuple[int, int], Tuple[int, int, object, object]] = {}
+    for i, profile in enumerate(profiles):
+        info = prefixes[i]
+        started = time.perf_counter()
+        candidate_ids = executor.collect_candidates(
+            profile, info, index, unprunable, profiles, i
+        )
+        stats.candidate_time += time.perf_counter() - started
+
+        started = time.perf_counter()
+        for j in candidate_ids:
+            ctx.handle_candidate(
+                executor, profiles, labels, i, j,
+                positions[j], positions[i],
+                graphs[j].graph_id, graphs[i].graph_id,
+                todo, todo_keys,
+            )
+        stats.verify_time += time.perf_counter() - started
+
+        started = time.perf_counter()
+        if info.prunable:
+            for key in profile.prefix_keys(info.length):
+                index.add(key, i)
+        else:
+            unprunable.append(i)
+        stats.index_time += time.perf_counter() - started
+    started = time.perf_counter()
+    ctx.drain_workers(executor, graphs, sorter, todo, todo_keys)
+    stats.verify_time += time.perf_counter() - started
+
+
+def _run_cross_combo(
+    ctx: _ComboContext,
+    positions_a: Sequence[int],
+    graphs_a: Sequence[Graph],
+    positions_b: Sequence[int],
+    graphs_b: Sequence[Graph],
+) -> None:
+    """Bipartite scan of two sub-shards: index side B, probe side A.
+
+    Orientation of each discovered pair is by *global* position — the
+    later graph verifies as ``r`` regardless of which side it came from
+    — so records, results and fault steps match the in-memory scan's
+    convention pair-for-pair.
+    """
+    stats = ctx.pair_stats
+    executor = Executor(ctx.tau, ctx.options, stats, budget=ctx.budget)
+    combined = list(graphs_a) + list(graphs_b)
+    n_a = len(graphs_a)
+    started = time.perf_counter()
+    profiles, prefixes, labels, sorter = executor.prepare(combined)
+    b_profiles = profiles[n_a:]
+
+    index = InvertedIndex()
+    unprunable_b: List[int] = []
+    for j, profile in enumerate(b_profiles):
+        info = prefixes[n_a + j]
+        if info.prunable:
+            for key in profile.prefix_keys(info.length):
+                index.add(key, j)
+        else:
+            unprunable_b.append(j)
+    stats.index_time += time.perf_counter() - started
+
+    todo: List[Tuple[int, int]] = []
+    todo_keys: Dict[Tuple[int, int], Tuple[int, int, object, object]] = {}
+    for i in range(n_a):
+        started = time.perf_counter()
+        candidate_ids = executor.collect_candidates(
+            profiles[i], prefixes[i], index, unprunable_b, b_profiles,
+            len(b_profiles),
+        )
+        stats.candidate_time += time.perf_counter() - started
+
+        started = time.perf_counter()
+        for j in candidate_ids:
+            pos_a, pos_b = positions_a[i], positions_b[j]
+            if pos_a > pos_b:
+                r_local, s_local = i, n_a + j
+                lo, hi = pos_b, pos_a
+                id_lo, id_hi = graphs_b[j].graph_id, graphs_a[i].graph_id
+            else:
+                r_local, s_local = n_a + j, i
+                lo, hi = pos_a, pos_b
+                id_lo, id_hi = graphs_a[i].graph_id, graphs_b[j].graph_id
+            ctx.handle_candidate(
+                executor, profiles, labels, r_local, s_local,
+                lo, hi, id_lo, id_hi, todo, todo_keys,
+            )
+        stats.verify_time += time.perf_counter() - started
+    started = time.perf_counter()
+    ctx.drain_workers(executor, combined, sorter, todo, todo_keys)
+    stats.verify_time += time.perf_counter() - started
+
+
+def _process_pair(
+    key: str,
+    rec_a: dict,
+    rec_b: dict,
+    split: int,
+    spill_dir: str,
+    run_meta: dict,
+    tau: int,
+    options: GSimJoinOptions,
+    budget: Optional[VerificationBudget],
+    memory: MemoryBudget,
+    injector: Optional[FaultInjector],
+    workers: int,
+    max_retries: int,
+    retry_backoff: float,
+    chunk_timeout: Optional[float],
+    fsync_interval: Optional[int],
+) -> Tuple[JoinStatistics, int, int]:
+    """One attempt at one shard pair at one split level.
+
+    Opens the pair's journal (replaying any prior attempt's verified
+    prefix), recreates its spill queues from scratch (their contents
+    are a deterministic function of the journal plus fresh work), runs
+    every sub-shard combo under the memory budget, and finishes both
+    queues.  Raises :class:`~repro.exceptions.MemoryBudgetError` when a
+    combo cannot fit (caller degrades the split) and lets ``OSError``
+    escape for the caller's retry/backoff policy.
+    """
+    is_self = rec_a is rec_b
+    pair_stats = JoinStatistics(
+        num_graphs=(
+            len(rec_a["positions"])
+            if is_self
+            else len(rec_a["positions"]) + len(rec_b["positions"])
+        ),
+        tau=tau,
+        q=options.q,
+    )
+    journal = JoinJournal.open(
+        os.path.join(spill_dir, f"pair-{key}.journal.jsonl"),
+        _pair_meta(run_meta, key),
+        fsync_interval=fsync_interval,
+    )
+    try:
+        with SpillQueue.create(
+            os.path.join(spill_dir, f"pair-{key}.candidates.jsonl")
+        ) as cand_q, SpillQueue.create(
+            os.path.join(spill_dir, f"pair-{key}.results.jsonl")
+        ) as res_q:
+            ctx = _ComboContext(
+                tau, options, budget, pair_stats, journal, cand_q, res_q,
+                injector, workers, max_retries, retry_backoff, chunk_timeout,
+            )
+            path_a = os.path.join(spill_dir, rec_a["file"])
+            path_b = os.path.join(spill_dir, rec_b["file"])
+            for range_a, range_b in _combos(
+                len(rec_a["positions"]), len(rec_b["positions"]), is_self, split
+            ):
+                diagonal = is_self and range_a == range_b
+                sizes_a = rec_a["sizes"][range_a[0] : range_a[1]]
+                sizes_b = rec_b["sizes"][range_b[0] : range_b[1]]
+                estimate = _estimate_bytes(sizes_a)
+                if not diagonal:
+                    estimate += _estimate_bytes(sizes_b)
+                memory.charge(estimate, f"shard pair {key} split {split}")
+                try:
+                    graphs_a = _load_slice(path_a, range_a[0], range_a[1])
+                    positions_a = rec_a["positions"][range_a[0] : range_a[1]]
+                    if diagonal:
+                        _run_self_combo(ctx, positions_a, graphs_a)
+                    else:
+                        graphs_b = _load_slice(path_b, range_b[0], range_b[1])
+                        positions_b = rec_b["positions"][range_b[0] : range_b[1]]
+                        _run_cross_combo(
+                            ctx, positions_a, graphs_a, positions_b, graphs_b
+                        )
+                finally:
+                    memory.release(estimate)
+            _step_io(injector)
+            cand_q.finish()
+            _step_io(injector)
+            res_q.finish()
+            return pair_stats, ctx.results, ctx.undecided
+    finally:
+        journal.close()
+
+
+# --- Statistics snapshots -----------------------------------------------
+
+#: JoinStatistics fields snapshotted per shard pair and summed globally.
+_COUNTER_FIELDS = (
+    "cand1", "cand2",
+    "pruned_by_size", "pruned_by_global_label", "pruned_by_count",
+    "pruned_by_local_label",
+    "total_prefix_length", "unprunable_graphs",
+    "index_distinct_keys", "index_postings", "index_bytes",
+    "index_time", "candidate_time", "verify_time", "ged_time",
+    "ged_calls", "ged_expansions", "compile_time", "compiled_graphs",
+    "undecided", "replayed_pairs", "chunk_retries", "fallback_pairs",
+    "failed_pairs",
+)
+
+
+def _stats_snapshot(stats: JoinStatistics) -> dict:
+    """A shard pair's statistics as a manifest-storable dict."""
+    snapshot = {name: getattr(stats, name) for name in _COUNTER_FIELDS}
+    snapshot["stages"] = [
+        [row.name, row.role, row.input, row.survivors, row.seconds]
+        for row in stats.stages
+    ]
+    return snapshot
+
+
+def _accrue_snapshot(total: JoinStatistics, snapshot: dict) -> None:
+    """Add one shard pair's snapshot into the run's global statistics.
+
+    Stage rows merge by name in first-seen order — pairs accrue in
+    sorted key order on clean runs and resumes alike, so the global
+    stage table is deterministic.
+    """
+    for name in _COUNTER_FIELDS:
+        setattr(total, name, getattr(total, name) + snapshot[name])
+    existing = {row.name: row for row in total.stages}
+    for name, role, inputs, survivors, seconds in snapshot["stages"]:
+        row = existing.get(name)
+        if row is None:
+            row = StageStatistics(name=name, role=role)
+            total.stages.append(row)
+            existing[name] = row
+        row.input += inputs
+        row.survivors += survivors
+        row.seconds += seconds
+
+
+# --- The driver ---------------------------------------------------------
+
+
+def execute_sharded_join(
+    source: Source,
+    tau: int,
+    options: Optional[GSimJoinOptions] = None,
+    *,
+    spill_dir: Union[str, os.PathLike],
+    shards: int = 4,
+    memory_budget_mb: Optional[float] = None,
+    resume: bool = False,
+    budget: Optional[VerificationBudget] = None,
+    workers: int = 1,
+    fault: Optional[FaultPlan] = None,
+    max_retries: int = 2,
+    retry_backoff: float = 0.1,
+    chunk_timeout: Optional[float] = None,
+    fsync_interval: Optional[int] = None,
+    on_error: str = "raise",
+) -> JoinResult:
+    """Out-of-core self-join over a collection file or sequence.
+
+    The engine-side implementation behind
+    :func:`repro.core.sharded.gsim_join_sharded` — see there for the
+    public contract and ``docs/ROBUSTNESS.md`` for the recovery
+    contract.  ``source`` is preferably a collection *file path*
+    (streamed, never fully loaded); a graph sequence is accepted for
+    convenience and is scattered through the same shard files, which
+    round-trips labels as strings (use string labels for exact parity
+    with the in-memory join).
+
+    Raises
+    ------
+    ParameterError
+        On invalid ``tau``/``shards``/``workers``/retry settings,
+        missing or duplicate graph ids, or mixed directedness.
+    CheckpointError
+        When ``spill_dir`` already holds a manifest and ``resume`` is
+        false, when the manifest belongs to a different run, or when a
+        recorded shard file has gone missing.
+    MemoryBudgetError
+        When a shard pair exceeds the memory budget even at the finest
+        split level (single-graph sub-shards).
+    """
+    if options is None:
+        options = GSimJoinOptions()
+    if tau < 0:
+        raise ParameterError(f"tau must be >= 0, got {tau}")
+    if options.q < 0:
+        raise ParameterError(f"q must be >= 0, got {options.q}")
+    if shards < 1:
+        raise ParameterError(f"shards must be >= 1, got {shards}")
+    if workers < 1:
+        raise ParameterError(f"workers must be >= 1, got {workers}")
+    if max_retries < 0:
+        raise ParameterError(f"max_retries must be >= 0, got {max_retries}")
+    if retry_backoff < 0:
+        raise ParameterError(f"retry_backoff must be >= 0, got {retry_backoff}")
+    if budget is not None and options.verifier not in BUDGETED_VERIFIERS:
+        raise ParameterError(
+            "budgeted verification requires an A*-family verifier "
+            "('astar'/'object'/'compiled')"
+        )
+    spill_dir = os.fspath(spill_dir)
+    os.makedirs(spill_dir, exist_ok=True)
+
+    injector = fault.start() if fault is not None else None
+    memory = MemoryBudget.from_mb(memory_budget_mb)
+
+    sizes, ids_sha = _survey(source, on_error)
+    n = len(sizes)
+    run_meta = sharded_join_meta(n, ids_sha, tau, options, budget, shards)
+
+    manifest_path = os.path.join(spill_dir, _MANIFEST_NAME)
+    if ShardManifest.exists(manifest_path):
+        if not resume:
+            raise CheckpointError(
+                f"{manifest_path}: a sharded-join manifest already exists; "
+                "pass resume=True (CLI: --resume) to continue that run, or "
+                "use a fresh spill directory"
+            )
+        manifest = ShardManifest.load(manifest_path, run_meta)
+    else:
+        manifest = ShardManifest.create(manifest_path, run_meta)
+
+    if manifest.partition is None:
+        records = _write_shards(source, on_error, sizes, shards, spill_dir)
+        ranges = [(rec["min_size"], rec["max_size"]) for rec in records]
+        keys = [
+            _pair_key(a, b) for a, b in qualifying_shard_pairs(ranges, tau)
+        ]
+        manifest.set_partition(records, keys)
+    else:
+        records = manifest.partition
+        for rec in records:
+            if not os.path.exists(os.path.join(spill_dir, rec["file"])):
+                raise CheckpointError(
+                    f"{spill_dir}: shard file {rec['file']} recorded in the "
+                    "manifest is missing; cannot resume"
+                )
+        keys = sorted(
+            manifest.pairs, key=lambda k: tuple(int(x) for x in k.split("-"))
+        )
+
+    stats = JoinStatistics(num_graphs=n, tau=tau, q=options.q)
+    result = JoinResult(stats=stats)
+
+    for key in keys:
+        entry = manifest.pair(key)
+        if entry["status"] == PAIR_DONE:
+            _accrue_snapshot(stats, entry["stats"])
+            continue
+        a, b = (int(x) for x in key.split("-"))
+        rec_a, rec_b = records[a], (records[a] if a == b else records[b])
+        split = int(entry.get("split", 0))
+        attempt_errors = 0
+        while True:
+            manifest.update_pair(
+                key,
+                status=PAIR_RUNNING,
+                attempts=int(entry.get("attempts", 0)) + 1,
+                split=split,
+            )
+            entry = manifest.pair(key)
+            try:
+                pair_stats, results_n, undecided_n = _process_pair(
+                    key, rec_a, rec_b, split, spill_dir, run_meta, tau,
+                    options, budget, memory, injector, workers,
+                    max_retries, retry_backoff, chunk_timeout, fsync_interval,
+                )
+            except MemoryBudgetError:
+                memory.reset()
+                n_a = len(rec_a["positions"])
+                n_b = len(rec_b["positions"])
+                if min(2**split, n_a) < n_a or min(2**split, n_b) < n_b:
+                    split += 1
+                    continue
+                raise
+            except OSError:
+                # Transient I/O (ENOSPC, injected faults, flaky disk):
+                # capped-backoff retry; the journal keeps what was
+                # verified, the queues rebuild from scratch.
+                attempt_errors += 1
+                if attempt_errors > max_retries:
+                    raise
+                if retry_backoff > 0:
+                    time.sleep(
+                        min(
+                            retry_backoff * 2 ** (attempt_errors - 1),
+                            _MAX_BACKOFF,
+                        )
+                    )
+                continue
+            snapshot = _stats_snapshot(pair_stats)
+            manifest.update_pair(
+                key,
+                status=PAIR_DONE,
+                split=split,
+                stats=snapshot,
+                results=results_n,
+                undecided=undecided_n,
+            )
+            _accrue_snapshot(stats, snapshot)
+            break
+
+    # Merge: one fault step marks the merge boundary (kill-mid-merge
+    # tests aim here), then every done pair's results queue streams in
+    # and the union sorts by global position — fully deterministic.
+    if injector is not None:
+        injector.step()
+    merged: List[dict] = []
+    for key in keys:
+        path = os.path.join(spill_dir, f"pair-{key}.results.jsonl")
+        merged.extend(SpillQueue.replay(path))
+    merged.sort(key=lambda r: (r["lo"], r["hi"]))
+    for record in merged:
+        if record["kind"] == "pair":
+            result.pairs.append((record["id_lo"], record["id_hi"]))
+        else:
+            result.undecided.append(
+                BoundedPair(
+                    record["id_lo"],
+                    record["id_hi"],
+                    record["lower"],
+                    record["upper"],
+                    record["reason"],
+                )
+            )
+    stats.results = len(result.pairs)
+    manifest.set_complete(
+        {
+            "results": len(result.pairs),
+            "undecided": len(result.undecided),
+            "fingerprint": result_fingerprint(result),
+            "peak_budget_bytes": memory.peak,
+        }
+    )
+    return result

@@ -60,3 +60,13 @@ class InjectedFaultError(ReproError):
     :class:`~repro.runtime.faults.FaultPlan`; production joins never see
     it.
     """
+
+
+class MemoryBudgetError(ReproError):
+    """Raised when a sharded join's working set exceeds its memory budget.
+
+    The out-of-core driver (``repro.engine.sharded``) treats it as a
+    *degradation signal*, not a failure: the offending shard pair is
+    retried at a finer split level (smaller sub-shards, less resident
+    state) until the budget fits or no further splitting is possible.
+    """

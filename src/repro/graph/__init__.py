@@ -6,6 +6,7 @@ from repro.graph.io import (
     dumps_graphs,
     from_networkx,
     load_graphs,
+    load_graphs_iter,
     loads_graphs,
     save_graphs,
     to_networkx,
@@ -29,6 +30,7 @@ __all__ = [
     "Graph",
     "edge_key",
     "load_graphs",
+    "load_graphs_iter",
     "loads_graphs",
     "save_graphs",
     "dumps_graphs",

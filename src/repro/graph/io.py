@@ -21,13 +21,14 @@ from __future__ import annotations
 
 import io
 import os
-from typing import Iterable, List, Optional, Sequence, TextIO, Tuple, Union
+from typing import Iterable, Iterator, List, Optional, Sequence, TextIO, Tuple, Union
 
 from repro.exceptions import GraphError, GraphFormatError, ParameterError
 from repro.graph.graph import Graph
 
 __all__ = [
     "load_graphs",
+    "load_graphs_iter",
     "loads_graphs",
     "save_graphs",
     "dumps_graphs",
@@ -41,17 +42,28 @@ __all__ = [
 ParseReport = Tuple[int, str]
 
 
-def _parse(
-    stream: TextIO,
-    source: str,
-    on_error: str = "raise",
-    errors: Optional[List[ParseReport]] = None,
-) -> List[Graph]:
+def _check_on_error(on_error: str) -> None:
     if on_error not in ("raise", "skip"):
         raise ParameterError(
             f"on_error must be 'raise' or 'skip', got {on_error!r}"
         )
-    graphs: List[Graph] = []
+
+
+def _parse_iter(
+    stream: TextIO,
+    source: str,
+    on_error: str = "raise",
+    errors: Optional[List[ParseReport]] = None,
+) -> Iterator[Graph]:
+    """Yield each *completed* graph of ``stream``, one at a time.
+
+    A graph is complete (and yielded) only once its last record has
+    been seen — the next ``t`` line, or end of input — so lenient mode
+    can drop a corrupt graph whole without ever having emitted it.
+    Only the graph currently being parsed is resident; the stream is
+    never materialized.
+    """
+    _check_on_error(on_error)
     current: Optional[Graph] = None
     skip_graph = False  # swallowing the rest of a dropped graph
     for lineno, raw in enumerate(stream, start=1):
@@ -65,12 +77,13 @@ def _parse(
         try:
             if tag == "t":
                 # "t # <id> [directed]"; the id may be omitted.
+                if current is not None:
+                    yield current
                 gid: Union[int, str, None] = None
                 directed = fields[-1] == "directed"
                 if len(fields) >= 3 and fields[2] != "directed":
                     gid = int(fields[2]) if fields[2].lstrip("-").isdigit() else fields[2]
                 current = Graph(gid, directed=directed)
-                graphs.append(current)
                 skip_graph = False
             elif tag == "v":
                 if skip_graph:
@@ -103,12 +116,22 @@ def _parse(
         if errors is not None:
             errors.append((lineno, reason))
         # A graph with any corrupt record is dropped whole — a partially
-        # loaded graph would silently change join results.
-        if current is not None and graphs and graphs[-1] is current:
-            graphs.pop()
+        # loaded graph would silently change join results.  (It was
+        # never yielded: graphs are only emitted once complete.)
+        if current is not None:
             skip_graph = True
         current = None
-    return graphs
+    if current is not None:
+        yield current
+
+
+def _parse(
+    stream: TextIO,
+    source: str,
+    on_error: str = "raise",
+    errors: Optional[List[ParseReport]] = None,
+) -> List[Graph]:
+    return list(_parse_iter(stream, source, on_error=on_error, errors=errors))
 
 
 def load_graphs(
@@ -136,6 +159,39 @@ def load_graphs(
     """
     with open(path, "r", encoding="utf-8") as f:
         return _parse(f, str(path), on_error=on_error, errors=errors)
+
+
+def load_graphs_iter(
+    path: Union[str, os.PathLike],
+    on_error: str = "raise",
+    errors: Optional[List[ParseReport]] = None,
+) -> Iterator[Graph]:
+    """Stream a graph collection from a text file, one graph at a time.
+
+    The lazy sibling of :func:`load_graphs`: graphs are yielded as soon
+    as they are complete and only the graph currently being parsed is
+    resident, so the out-of-core sharded join can partition collections
+    that do not fit in memory.  ``on_error``/``errors`` have exactly
+    :func:`load_graphs`'s semantics — ``"skip"`` drops a corrupt graph
+    whole (it is never yielded) and reports ``(lineno, reason)`` into
+    ``errors``.  The file stays open until the iterator is exhausted or
+    closed.
+
+    Raises
+    ------
+    GraphFormatError
+        With ``on_error="raise"``, on malformed input (raised from the
+        iterator at the offending line).
+    ParameterError
+        On an unknown ``on_error`` value (raised immediately).
+    """
+    _check_on_error(on_error)
+
+    def generate() -> Iterator[Graph]:
+        with open(path, "r", encoding="utf-8") as f:
+            yield from _parse_iter(f, str(path), on_error=on_error, errors=errors)
+
+    return generate()
 
 
 def loads_graphs(

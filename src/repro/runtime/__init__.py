@@ -17,14 +17,27 @@ on :mod:`repro.exceptions`), so both :mod:`repro.ged` and
 
 from repro.runtime.budget import BudgetMeter, VerificationBudget
 from repro.runtime.faults import FaultInjector, FaultPlan, seeded_at
-from repro.runtime.journal import JoinJournal, VerificationRecord
+from repro.runtime.journal import JoinJournal, VerificationRecord, replace_file
+from repro.runtime.sharded import (
+    MemoryBudget,
+    ShardManifest,
+    SpillQueue,
+    plan_bands,
+    qualifying_shard_pairs,
+)
 
 __all__ = [
     "VerificationBudget",
     "BudgetMeter",
     "JoinJournal",
     "VerificationRecord",
+    "replace_file",
     "FaultPlan",
     "FaultInjector",
     "seeded_at",
+    "MemoryBudget",
+    "SpillQueue",
+    "ShardManifest",
+    "plan_bands",
+    "qualifying_shard_pairs",
 ]

@@ -1,10 +1,20 @@
 """Deterministic fault injection for join execution tests.
 
 The fault-tolerant executor's recovery paths (worker crash, worker
-hang, verification exception) are impossible to exercise reliably with
-real faults, so this module provides a deterministic injector: a
-:class:`FaultPlan` armed on a join fires exactly once, at the ``at``-th
-verification observed by the process executing it.
+hang, verification exception, full disk) are impossible to exercise
+reliably with real faults, so this module provides a deterministic
+injector: a :class:`FaultPlan` armed on a join fires at the ``at``-th
+*event* observed by the process executing it.  Plans come in two
+channels:
+
+* **verification faults** (``"raise"``/``"hang"``/``"kill"``) count
+  verifications via :meth:`FaultInjector.step` and fire exactly once,
+  at the ``at``-th verification;
+* **I/O faults** (``"ioerror"``/``"enospc"``) count durable writes —
+  journal appends and spill-queue appends — via
+  :meth:`FaultInjector.step_io` and fire at *every* write from the
+  ``at``-th onward (a full disk stays full), unless a latch limits them
+  to firing once.
 
 Kinds
 -----
@@ -17,18 +27,26 @@ Kinds
     ``os._exit(1)`` — the process dies without cleanup, exactly like an
     OOM kill.  Only meaningful in a worker process or a sacrificial
     subprocess.
+``"ioerror"``
+    Raise ``IOError`` (= ``OSError``) from the write path, simulating a
+    failing disk.
+``"enospc"``
+    Raise ``OSError`` with ``errno.ENOSPC``, simulating a full disk.
 
 Plans are immutable and picklable, so the parent can arm them on pool
 workers.  A ``latch_path`` makes a plan *fire once globally*: firing
 atomically creates the latch file first, so when the executor retries
-the poisoned chunk (possibly in a fresh process) the plan stays quiet
-and the retry succeeds — the deterministic "crash once, recover" script
-the tests are built on.  ``seeded_at`` derives a reproducible firing
-point from a seed when a test wants variety without nondeterminism.
+the poisoned chunk (possibly in a fresh process) — or the sharded
+driver retries a shard pair whose spill write hit the injected ENOSPC
+— the plan stays quiet and the retry succeeds: the deterministic
+"crash once, recover" script the tests are built on.  ``seeded_at``
+derives a reproducible firing point from a seed when a test wants
+variety without nondeterminism.
 """
 
 from __future__ import annotations
 
+import errno
 import os
 import time
 from dataclasses import dataclass
@@ -39,7 +57,9 @@ from repro.exceptions import InjectedFaultError, ParameterError
 
 __all__ = ["FaultPlan", "FaultInjector", "seeded_at"]
 
-_KINDS = ("raise", "hang", "kill")
+_VERIFY_KINDS = ("raise", "hang", "kill")
+_IO_KINDS = ("ioerror", "enospc")
+_KINDS = _VERIFY_KINDS + _IO_KINDS
 
 
 def seeded_at(seed: int, max_at: int) -> int:
@@ -51,11 +71,14 @@ def seeded_at(seed: int, max_at: int) -> int:
 
 @dataclass(frozen=True)
 class FaultPlan:
-    """Fire one fault at the ``at``-th verification (1-based).
+    """Fire one fault at the ``at``-th event of the plan's channel.
 
-    ``latch_path``, when set, names a file used as a fire-once latch
-    across processes and retries; without it the plan fires every time
-    a fresh process's verification counter reaches ``at``.
+    Verification kinds fire exactly once, at the ``at``-th verification
+    (1-based); I/O kinds fire on every durable write from the ``at``-th
+    onward.  ``latch_path``, when set, names a file used as a fire-once
+    latch across processes and retries; without it a verification plan
+    fires every time a fresh process's counter reaches ``at``, and an
+    I/O plan fires on every write past ``at``.
     """
 
     kind: str
@@ -72,20 +95,26 @@ class FaultPlan:
         if self.at < 1:
             raise ParameterError(f"fault 'at' must be >= 1, got {self.at}")
 
+    @property
+    def is_io(self) -> bool:
+        """True for the I/O-channel kinds (``ioerror``/``enospc``)."""
+        return self.kind in _IO_KINDS
+
     def start(self) -> "FaultInjector":
-        """A fresh per-process injector (verification counter at zero)."""
+        """A fresh per-process injector (event counters at zero)."""
         return FaultInjector(self)
 
 
 class FaultInjector:
-    """Per-process counter that fires its plan's fault at the right step."""
+    """Per-process counters that fire the plan's fault at the right step."""
 
-    __slots__ = ("plan", "count")
+    __slots__ = ("plan", "count", "io_count")
 
     def __init__(self, plan: FaultPlan) -> None:
-        """Arm ``plan`` with the verification counter at zero."""
+        """Arm ``plan`` with both event counters at zero."""
         self.plan = plan
         self.count = 0
+        self.io_count = 0
 
     def _claim_latch(self) -> bool:
         """Atomically claim the fire-once latch; True if we may fire."""
@@ -101,7 +130,13 @@ class FaultInjector:
         return True
 
     def step(self) -> None:
-        """Count one verification; fire the fault when the plan says so."""
+        """Count one verification; fire the fault when the plan says so.
+
+        I/O-channel plans never fire here — they count writes, via
+        :meth:`step_io`.
+        """
+        if self.plan.is_io:
+            return
         self.count += 1
         if self.count != self.plan.at or not self._claim_latch():
             return
@@ -114,3 +149,28 @@ class FaultInjector:
             return
         # "kill": die like an OOM-killed worker -- no cleanup, no excuses.
         os._exit(1)
+
+    def step_io(self) -> None:
+        """Count one durable write; fire an I/O fault when armed.
+
+        Unlike verification faults, an I/O fault is *persistent*: a full
+        disk stays full, so the plan fires on every write from the
+        ``at``-th onward.  A ``latch_path`` limits it to firing once —
+        the "space was freed" recovery script.
+        """
+        if not self.plan.is_io:
+            return
+        self.io_count += 1
+        if self.io_count < self.plan.at or not self._claim_latch():
+            return
+        # Injected I/O faults must be indistinguishable from the real
+        # thing, so they raise genuine OS exception types — the one
+        # deliberate exception to the library-exceptions-only rule.
+        if self.plan.kind == "enospc":
+            raise OSError(  # repro: ignore[exceptions]
+                errno.ENOSPC,
+                f"injected ENOSPC at write #{self.io_count}",
+            )
+        raise IOError(  # repro: ignore[exceptions]
+            f"injected I/O fault at write #{self.io_count}"
+        )

@@ -1,0 +1,14 @@
+"""Fixture: hot-path allocations inside the sharded-join combo loops."""
+
+
+def run_combo(positions, graphs, journal):
+    records = []
+    for i, g in enumerate(graphs):
+        resident = list(graphs)
+        keys = dict(journal)
+        profile = extract_qgrams(g, 4)  # noqa: F821
+        records.append((resident, keys, profile, positions[i]))
+    while records:
+        batch = set(records)  # repro: ignore[hot-path-alloc]
+        records.pop()
+    return records

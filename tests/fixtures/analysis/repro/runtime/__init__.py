@@ -1,0 +1,1 @@
+"""Fixture ``repro.runtime`` package."""

@@ -1,0 +1,13 @@
+"""Fixture: hot-path allocations inside the spill-queue replay loop."""
+
+
+def replay(lines):
+    out = []
+    for line in lines:
+        fields = tuple(line.split())
+        extras = frozenset(fields)
+        out.append((fields, extras))
+    while out:
+        last = list(out)  # repro: ignore[hot-path-alloc]
+        out.pop()
+    return out

@@ -1,0 +1,35 @@
+"""Fixture: a naive sharded-join worker that spills through shared state.
+
+Models the mistake the out-of-core driver must not make: workers
+verifying a shard pair's candidate chunk record results into parent
+state (a module-level spill index, a shared buffer default, a captured
+file handle) instead of returning them for the parent to spill.
+"""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+_SPILL_INDEX: dict = {}
+_SPILL_LOCK = threading.Lock()
+
+
+def _record(key, record, buffer=[]):
+    """Worker-reachable; every write below is a fork-safety violation."""
+    _SPILL_INDEX[key] = record
+    buffer.append(record)
+    with _SPILL_LOCK:
+        return len(buffer)
+
+
+def _verify_chunk(chunk):
+    """The submitted worker function: verify and (wrongly) spill."""
+    return [_record(key, {"lo": key[1], "hi": key[0]}) for key in chunk]
+
+
+def run(chunks):
+    """Drive the shard pair's worker pool."""
+    out = []
+    with ProcessPoolExecutor() as pool:
+        for future in [pool.submit(_verify_chunk, c) for c in chunks]:
+            out.extend(future.result())
+    return out

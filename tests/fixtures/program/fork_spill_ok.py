@@ -1,0 +1,23 @@
+"""Fixture: the fork-safe sharded-join worker protocol.
+
+Workers return their verification records; only the parent touches the
+spill queues and the manifest — exactly the real driver's contract
+(``repro.engine.sharded`` dispatches chunks and applies the returned
+records itself).
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _verify_chunk(chunk):
+    """The submitted worker function: pure compute, no shared state."""
+    return [{"lo": key[1], "hi": key[0]} for key in chunk]
+
+
+def run(chunks, spill):
+    """Parent-side spill: the only writer of durable state."""
+    with ProcessPoolExecutor() as pool:
+        for future in [pool.submit(_verify_chunk, c) for c in chunks]:
+            for record in future.result():
+                spill.append(record)
+    return spill

@@ -62,6 +62,24 @@ def test_fork_safety_clean_counterpart():
     assert program_findings("fork_ok") == []
 
 
+def test_fork_safety_flags_spilling_through_shared_state():
+    """The sharded-join worker anti-pattern: a worker-reachable helper
+    that records results into a module-level spill index, a shared
+    buffer default, and a captured lock — all three must fire."""
+    found = program_findings("fork_spill_bad")
+    assert found == [
+        (18, "fork-safety"),  # _SPILL_INDEX[key] = ... (global-subscript)
+        (19, "fork-safety"),  # buffer.append(...) (default-mutation)
+        (20, "fork-safety"),  # with _SPILL_LOCK: (unpicklable-capture)
+    ]
+
+
+def test_fork_safety_passes_return_and_spill_in_parent():
+    """The real driver's contract — workers return records, the parent
+    is the only writer of spill state — produces zero findings."""
+    assert program_findings("fork_spill_ok") == []
+
+
 def test_fork_safety_initializer_global_writes_exempt():
     """_init writes _CACHE in both fixtures yet is never flagged."""
     for name in ("fork_bad", "fork_ok"):

@@ -15,9 +15,10 @@ import pytest
 
 from repro.core.join import GSimJoinOptions, gsim_join, gsim_join_rs
 from repro.core.parallel import gsim_join_parallel
-from repro.exceptions import CheckpointError, InjectedFaultError
+from repro.exceptions import CheckpointError, InjectedFaultError, ParameterError
 from repro.graph import assign_ids, load_graphs, save_graphs
 from repro.runtime import FaultPlan
+from repro.runtime.journal import JoinJournal, VerificationRecord, replace_file
 
 from .test_join import molecule_collection
 
@@ -178,6 +179,59 @@ class TestResumeGuards:
         assert_same_result(second, first)
         assert second.stats.replayed_pairs == first.stats.cand1
         assert first.stats.replayed_pairs == 0
+
+
+class TestJournalDurability:
+    """The fsync-interval knob and the atomic header publication."""
+
+    META = {"kind": "test", "tau": 2}
+
+    def test_fsync_interval_validation(self, tmp_path):
+        with pytest.raises(ParameterError, match="fsync_interval"):
+            JoinJournal.open(tmp_path / "j.jsonl", self.META, fsync_interval=0)
+
+    def test_fsync_interval_journal_replays_identically(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with JoinJournal.open(path, self.META, fsync_interval=1) as journal:
+            journal.append(VerificationRecord(i=1, j=0, is_result=True))
+            journal.append(VerificationRecord(i=2, j=0, is_result=False,
+                                              pruned_by="count"))
+        reopened = JoinJournal.open(path, self.META)
+        assert reopened.completed[(1, 0)].is_result
+        assert reopened.completed[(2, 0)].pruned_by == "count"
+        reopened.close()
+
+    def test_torn_final_line_is_dropped_and_truncated(self, tmp_path):
+        """A record cut before its newline (power loss mid-write) is
+        discarded on reopen — its pair simply re-verifies — and the
+        file is repaired so later appends start on a clean line."""
+        path = tmp_path / "j.jsonl"
+        with JoinJournal.open(path, self.META) as journal:
+            journal.append(VerificationRecord(i=1, j=0, is_result=True))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"i": 2, "j": 0, "is_res')
+        reopened = JoinJournal.open(path, self.META)
+        assert set(reopened.completed) == {(1, 0)}
+        reopened.close()
+        assert path.read_text().endswith("\n")
+
+    def test_header_published_atomically(self, tmp_path):
+        """Creating a journal leaves no tempfile droppings, and the
+        one-line header is already a complete, resumable journal."""
+        path = tmp_path / "j.jsonl"
+        JoinJournal.open(path, self.META).close()
+        assert [p.name for p in tmp_path.iterdir()] == ["j.jsonl"]
+        JoinJournal.open(path, self.META).close()  # resumes cleanly
+
+    def test_replace_file_survives_failed_write(self, tmp_path):
+        """replace_file keeps the old contents when publication fails
+        partway and removes its temporary."""
+        path = tmp_path / "doc.json"
+        replace_file(str(path), "old\n")
+        with pytest.raises(TypeError):
+            replace_file(str(path), 42)  # not a str: write() blows up
+        assert path.read_text() == "old\n"
+        assert [p.name for p in tmp_path.iterdir()] == ["doc.json"]
 
 
 class TestParallelCheckpoint:

@@ -166,6 +166,58 @@ class TestRobustnessFlags:
         ) == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_sharded_join_matches_in_memory_output(
+        self, collection_file, tmp_path, capsys
+    ):
+        main(["join", collection_file, "--tau", "2", "--quiet"])
+        expected = capsys.readouterr().out
+        assert main(
+            ["join", collection_file, "--tau", "2", "--quiet",
+             "--shards", "3", "--spill-dir", str(tmp_path / "spill"),
+             "--memory-budget-mb", "64"]
+        ) == 0
+        assert capsys.readouterr().out == expected
+
+    def test_sharded_resume_flag(self, collection_file, tmp_path, capsys):
+        spill = str(tmp_path / "spill")
+        assert main(
+            ["join", collection_file, "--tau", "2", "--quiet",
+             "--shards", "2", "--spill-dir", spill]
+        ) == 0
+        first = capsys.readouterr().out
+        # Re-running without --resume refuses; with it, identical output.
+        assert main(
+            ["join", collection_file, "--tau", "2", "--quiet",
+             "--shards", "2", "--spill-dir", spill]
+        ) == 1
+        assert "resume" in capsys.readouterr().err
+        assert main(
+            ["join", collection_file, "--tau", "2", "--quiet",
+             "--shards", "2", "--spill-dir", spill, "--resume"]
+        ) == 0
+        assert capsys.readouterr().out == first
+
+    def test_sharded_flags_require_shards(self, collection_file, capsys):
+        assert main(
+            ["join", collection_file, "--tau", "2", "--quiet",
+             "--memory-budget-mb", "64"]
+        ) == 1
+        assert "--shards" in capsys.readouterr().err
+
+    def test_shards_require_spill_dir(self, collection_file, capsys):
+        assert main(
+            ["join", collection_file, "--tau", "2", "--quiet", "--shards", "2"]
+        ) == 1
+        assert "--spill-dir" in capsys.readouterr().err
+
+    def test_shards_reject_checkpoint(self, collection_file, tmp_path, capsys):
+        assert main(
+            ["join", collection_file, "--tau", "2", "--quiet",
+             "--shards", "2", "--spill-dir", str(tmp_path / "spill"),
+             "--checkpoint", str(tmp_path / "j.jsonl")]
+        ) == 1
+        assert "--checkpoint" in capsys.readouterr().err
+
     def test_budget_with_baseline_is_error(self, tiny_file, capsys):
         assert main(
             ["join", tiny_file, "--tau", "1", "--algorithm", "naive",

@@ -9,6 +9,7 @@ from repro.graph import (
     dumps_graphs,
     from_networkx,
     load_graphs,
+    load_graphs_iter,
     loads_graphs,
     save_graphs,
     to_networkx,
@@ -135,6 +136,52 @@ class TestLenientParsing:
     def test_unknown_on_error_rejected(self):
         with pytest.raises(ParameterError, match="on_error"):
             loads_graphs(SAMPLE, on_error="ignore")
+
+
+class TestStreamingLoad:
+    """``load_graphs_iter`` is the lazy sibling of ``load_graphs``:
+    same graphs, same error semantics, one graph resident at a time."""
+
+    def test_streaming_matches_eager(self, tmp_path):
+        path = tmp_path / "graphs.txt"
+        path.write_text(SAMPLE, encoding="utf-8")
+        assert list(load_graphs_iter(path)) == load_graphs(path)
+
+    def test_graphs_yielded_before_the_file_ends(self, tmp_path):
+        """The first graph arrives as soon as it is complete — a parse
+        error later in the file surfaces only when iteration reaches
+        it, proving the loader never slurps the whole file."""
+        path = tmp_path / "graphs.txt"
+        path.write_text("t # 0\nv 0 C\nt # 1\nv zero N\n", encoding="utf-8")
+        stream = load_graphs_iter(path)
+        assert next(stream).graph_id == 0
+        with pytest.raises(GraphFormatError, match="malformed"):
+            next(stream)
+
+    def test_streaming_skip_matches_eager_skip(self, tmp_path):
+        path = tmp_path / "corrupt.txt"
+        path.write_text(CORRUPT, encoding="utf-8")
+        eager_errors, lazy_errors = [], []
+        eager = load_graphs(path, on_error="skip", errors=eager_errors)
+        lazy = list(load_graphs_iter(path, on_error="skip", errors=lazy_errors))
+        assert lazy == eager
+        assert lazy_errors == eager_errors
+
+    def test_unknown_on_error_rejected_before_iteration(self, tmp_path):
+        path = tmp_path / "graphs.txt"
+        path.write_text(SAMPLE, encoding="utf-8")
+        # The ParameterError must come from the call, not the first next().
+        with pytest.raises(ParameterError, match="on_error"):
+            load_graphs_iter(path, on_error="ignore")
+
+    def test_closing_early_releases_the_file(self, tmp_path):
+        path = tmp_path / "graphs.txt"
+        path.write_text(SAMPLE, encoding="utf-8")
+        stream = load_graphs_iter(path)
+        next(stream)
+        stream.close()  # generator close must not leak the handle
+        with pytest.raises(StopIteration):
+            next(stream)
 
 
 class TestRoundTrip:

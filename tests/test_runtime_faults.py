@@ -8,11 +8,13 @@ of the poisoned chunk succeeds; unlatched plans keep firing, driving
 the chunk into the in-process fallback path.
 """
 
+import errno
+
 import pytest
 
 from repro.core.join import gsim_join
 from repro.core.parallel import gsim_join_parallel
-from repro.exceptions import InjectedFaultError
+from repro.exceptions import InjectedFaultError, ParameterError
 from repro.runtime import FaultPlan, VerificationBudget
 
 from .test_join import molecule_collection
@@ -111,6 +113,55 @@ class TestInProcessSemantics:
             fault=FaultPlan("raise", at=1, latch_path=latch),
         )
         assert_matches_sequential(result, expected)
+
+
+class TestIOFaultChannel:
+    """The I/O kinds (``ioerror``/``enospc``) count durable writes via
+    ``step_io`` and are invisible to the verification channel."""
+
+    def test_io_kinds_ignore_verification_steps(self):
+        injector = FaultPlan("enospc", at=1).start()
+        for _ in range(10):
+            injector.step()  # must never fire: wrong channel
+
+    def test_verify_kinds_ignore_io_steps(self):
+        injector = FaultPlan("raise", at=1).start()
+        for _ in range(10):
+            injector.step_io()  # must never fire: wrong channel
+
+    def test_enospc_fires_at_the_armed_write_with_errno(self):
+        injector = FaultPlan("enospc", at=3).start()
+        injector.step_io()
+        injector.step_io()
+        with pytest.raises(OSError) as excinfo:
+            injector.step_io()
+        assert excinfo.value.errno == errno.ENOSPC
+
+    def test_io_fault_is_persistent(self):
+        """A full disk stays full: the plan fires on every write from
+        the ``at``-th onward, not just once."""
+        injector = FaultPlan("ioerror", at=1).start()
+        for _ in range(3):
+            with pytest.raises(OSError):
+                injector.step_io()
+
+    def test_latch_limits_io_fault_to_one_firing(self, tmp_path):
+        plan = FaultPlan("enospc", at=1, latch_path=str(tmp_path / "latch"))
+        injector = plan.start()
+        with pytest.raises(OSError):
+            injector.step_io()
+        injector.step_io()  # space was "freed": the latch absorbed it
+        # A fresh injector (a retry, possibly another process) sees the
+        # same latch file and stays quiet too.
+        plan.start().step_io()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ParameterError, match="kind"):
+            FaultPlan("corrupt", at=1)
+
+    def test_nonpositive_at_rejected(self):
+        with pytest.raises(ParameterError, match="at"):
+            FaultPlan("raise", at=0)
 
 
 class TestFaultFreeParity:
