@@ -1,7 +1,8 @@
 """Hot-path allocation rule.
 
 The engine's driver loops (``engine.executor``, ``engine.stages``),
-the vectorized batch kernels ``engine.batch``, their thin ``core``
+the vectorized batch kernels ``engine.batch``, the adaptive planner's
+per-pair observation loop (``engine.planner``), their thin ``core``
 wrappers (``core.join``, ``core.search``), ``ged.astar``, the compiled
 verifier ``ged.compiled``, the interned filter kernels ``grams.vocab``
 / ``grams.mismatch``, the columnar store builder ``grams.columnar``
@@ -38,6 +39,7 @@ TARGET_MODULES = {
     "repro.core.search",
     "repro.engine.batch",
     "repro.engine.executor",
+    "repro.engine.planner",
     "repro.engine.sharded",
     "repro.engine.stages",
     "repro.ged.astar",
@@ -61,8 +63,9 @@ class HotPathAllocationRule(Rule):
     description = (
         "flag list()/dict() copies and extract_qgrams calls inside loops "
         "in core.join/core.search/engine.batch/engine.executor/"
-        "engine.sharded/engine.stages/ged.astar/ged.compiled/"
-        "grams.columnar/grams.mismatch/grams.vocab/runtime.sharded"
+        "engine.planner/engine.sharded/engine.stages/ged.astar/"
+        "ged.compiled/grams.columnar/grams.mismatch/grams.vocab/"
+        "runtime.sharded"
     )
 
     def check(self, module: ModuleInfo) -> Iterator[Finding]:

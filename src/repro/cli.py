@@ -15,6 +15,8 @@ statistics; ``--algorithm kat|appfull|naive`` switches to a baseline.
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 from typing import List, Optional
 
@@ -116,10 +118,22 @@ def build_parser() -> argparse.ArgumentParser:
         "a crash or kill",
     )
     join.add_argument(
-        "--explain-plan",
+        "--auto-plan",
         action="store_true",
+        help="let the adaptive cost-based planner pick and re-tune the "
+        "filter cascade order (gsimjoin only; same result pairs, see "
+        "docs/PERFORMANCE.md)",
+    )
+    join.add_argument(
+        "--explain-plan",
+        nargs="?",
+        const="table",
+        choices=["table", "json"],
+        default=None,
         help="print the staged execution plan and the per-stage "
-        "survivor/timing table (gsimjoin only)",
+        "survivor/timing table to stderr (gsimjoin only); "
+        "'json' emits a machine-readable report with estimated vs "
+        "observed selectivity/cost and re-plan events instead",
     )
     join.add_argument("--quiet", action="store_true", help="print only the pairs")
     join.add_argument(
@@ -175,7 +189,13 @@ def _print_result(result, args) -> int:
         from repro.reporting import save_result_json
 
         save_result_json(result, args.json_path)
-    if getattr(args, "explain_plan", False):
+    explain = getattr(args, "explain_plan", None)
+    if explain == "json":
+        print(
+            json.dumps(result.stats.plan_report(), indent=2),
+            file=sys.stderr,
+        )
+    elif explain:
         print(result.stats.stage_table(), file=sys.stderr)
     if not args.quiet:
         print(result.stats.summary(), file=sys.stderr)
@@ -195,6 +215,8 @@ def _cmd_join_sharded(args, budget) -> int:
     from repro.core.sharded import gsim_join_sharded
 
     options = getattr(GSimJoinOptions, args.variant)(q=args.q)
+    if args.auto_plan:
+        options = dataclasses.replace(options, plan="auto")
     result = gsim_join_sharded(
         args.collection,
         args.tau,
@@ -215,10 +237,14 @@ def _cmd_join(args) -> int:
     if args.budget_expansions is not None or args.budget_seconds is not None:
         budget = VerificationBudget(args.budget_expansions, args.budget_seconds)
     if args.algorithm != "gsimjoin" and (
-        budget is not None or args.checkpoint is not None or args.explain_plan
+        budget is not None
+        or args.checkpoint is not None
+        or args.explain_plan
+        or args.auto_plan
     ):
         raise ReproError(
-            "--budget-*/--checkpoint/--explain-plan require --algorithm gsimjoin"
+            "--budget-*/--checkpoint/--explain-plan/--auto-plan require "
+            "--algorithm gsimjoin"
         )
     if args.shards is not None:
         # Out-of-core path: the collection file is streamed, not loaded.
@@ -230,7 +256,9 @@ def _cmd_join(args) -> int:
     graphs = _load(args.collection)
     if args.algorithm == "gsimjoin":
         options = getattr(GSimJoinOptions, args.variant)(q=args.q)
-        if args.explain_plan:
+        if args.auto_plan:
+            options = dataclasses.replace(options, plan="auto")
+        if args.explain_plan == "table":
             from repro.engine.plan import build_plan
 
             print(build_plan(options).describe(), file=sys.stderr)

@@ -29,7 +29,8 @@ from typing import Hashable, List, Optional, Sequence, Tuple
 from repro.engine.executor import Executor
 from repro.engine.inverted_index import InvertedIndex
 from repro.engine.options import GSimJoinOptions, Sorter, build_sorter
-from repro.engine.plan import JoinPlan, build_plan
+from repro.engine.plan import JoinPlan, build_plan, reorder_pair_filters
+from repro.engine.planner import static_choice
 from repro.engine.prefix import PrefixInfo
 from repro.engine.result import JoinStatistics
 from repro.exceptions import ParameterError
@@ -71,6 +72,14 @@ class GSimIndex:
         self.tau_max = tau_max
         self.options = options if options is not None else GSimJoinOptions()
         self._plan: JoinPlan = build_plan(self.options)
+        # plan="auto": the index re-picks the cascade order from the
+        # static cost/selectivity model whenever the collection changed
+        # (lazily, on the next query).  Queries themselves run a fixed
+        # plan — per-query adaptation would mutate state shared across
+        # queries, and a single probe rarely sees enough pairs to
+        # calibrate on anyway.
+        self._auto = self.options.plan == "auto"
+        self._plan_stale = self._auto
         self.graphs: List[Graph] = []
         self._profiles: List[QGramProfile] = []
         self._labels: List[Tuple] = []
@@ -117,6 +126,7 @@ class GSimIndex:
         self._ids.add(g.graph_id)
         self._prefix_lengths.append(info.length)
         self._store = None
+        self._plan_stale = self._auto
         if info.prunable:
             for key in profile.prefix_keys(info.length):
                 self._index.add(key, position)
@@ -142,6 +152,27 @@ class GSimIndex:
     def _prefix(self, profile: QGramProfile, tau: int) -> PrefixInfo:
         return self._plan.prefix.prefix_info(profile, tau)
 
+    def _refresh_auto_plan(self) -> None:
+        """Re-pick the static auto cascade order after collection changes.
+
+        Runs the planner's static model (:func:`repro.engine.planner.
+        static_choice`) over the indexed profiles at ``tau_max`` and
+        re-orders the shared plan's pair filters in place.  Deterministic
+        for a given collection, so repeated builds agree; result pairs
+        are unaffected (every order is sound) — only prune attribution
+        shifts.
+        """
+        if not self._plan_stale:
+            return
+        self._plan_stale = False
+        if not self._profiles:
+            return
+        order, _rates, _costs = static_choice(
+            self._profiles, self._labels, self.tau_max,
+            self._plan.pair_filters,
+        )
+        self._plan = reorder_pair_filters(self._plan, order)
+
     def query(
         self,
         g: Graph,
@@ -166,6 +197,7 @@ class GSimIndex:
             raise ParameterError(
                 f"tau={tau} exceeds the index's tau_max={self.tau_max}"
             )
+        self._refresh_auto_plan()
         executor = Executor(
             tau,
             self.options,

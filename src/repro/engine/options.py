@@ -76,10 +76,14 @@ class GSimJoinOptions:
         variant).  ``None`` (the default) keeps the paper's order.
         Every ordering is sound — each filter is an independent GED
         lower bound — and produces identical result pairs; only the
-        per-filter prune attribution and timings shift, which is the
-        point: the field exists for cost-based filter-ordering
-        experiments (see ``docs/ARCHITECTURE.md``).  Validated by
-        :func:`repro.engine.plan.build_plan`.
+        per-filter prune attribution and timings shift.  Validated by
+        :func:`repro.engine.plan.build_plan`.  The string ``"auto"``
+        (CLI ``--auto-plan``) enables the adaptive cost-based planner
+        of :mod:`repro.engine.planner` instead: the cascade starts in
+        the order the static cost/selectivity model picks and is
+        re-ordered mid-join from observed pruning counts — result
+        pairs stay bit-identical to every static order (see
+        ``docs/PERFORMANCE.md``).  No other string is accepted.
     batch:
         Evaluate the size, global-label and count filters over whole
         candidate blocks with the vectorized numpy kernels of
@@ -102,12 +106,23 @@ class GSimJoinOptions:
     interned: bool = True
     verifier: str = "compiled"
     anchor_bound: bool = False
-    plan: Optional[Tuple[str, ...]] = None
+    plan: Optional[Union[str, Tuple[str, ...]]] = None
     batch: Optional[bool] = None
 
     def __post_init__(self) -> None:
-        """Normalize a list/sequence ``plan`` to a tuple (frozen field)."""
-        if self.plan is not None and not isinstance(self.plan, tuple):
+        """Normalize a list/sequence ``plan`` to a tuple (frozen field).
+
+        The only string accepted is ``"auto"`` (the adaptive planner);
+        any other string is rejected here rather than exploding into a
+        tuple of characters.
+        """
+        if isinstance(self.plan, str):
+            if self.plan != "auto":
+                raise ParameterError(
+                    f"plan must be 'auto', None, or a tuple of stage "
+                    f"names, got {self.plan!r}"
+                )
+        elif self.plan is not None and not isinstance(self.plan, tuple):
             object.__setattr__(self, "plan", tuple(self.plan))
 
     @classmethod

@@ -36,7 +36,12 @@ from repro.engine.stages import (
 )
 from repro.exceptions import ParameterError
 
-__all__ = ["JoinPlan", "build_plan", "DEFAULT_FILTER_ORDER"]
+__all__ = [
+    "JoinPlan",
+    "build_plan",
+    "reorder_pair_filters",
+    "DEFAULT_FILTER_ORDER",
+]
 
 #: The paper's cascade order (Algorithm 6), cheapest bound first.
 DEFAULT_FILTER_ORDER: Tuple[str, ...] = (
@@ -114,12 +119,15 @@ def build_plan(options: GSimJoinOptions) -> JoinPlan:
     The per-pair cascade defaults to the enabled subset of
     :data:`DEFAULT_FILTER_ORDER`; ``options.plan`` may reorder it but
     must name exactly the enabled filters (a strict permutation).
+    ``plan="auto"`` builds the same default-order plan — the adaptive
+    planner (:mod:`repro.engine.planner`) re-orders it inside the
+    executor once collection statistics exist.
 
     Raises
     ------
     ParameterError
-        When ``options.plan`` names an unknown stage, omits an enabled
-        filter, includes a disabled one, or repeats a name.
+        When ``options.plan`` names an unknown stage, repeats a name,
+        omits an enabled filter, or includes a disabled one.
     """
     enabled = ["global-label-filter", "count-filter"]
     if options.local_label:
@@ -128,13 +136,21 @@ def build_plan(options: GSimJoinOptions) -> JoinPlan:
         enabled.append("multicover-filter")
 
     order = [name for name in DEFAULT_FILTER_ORDER if name in enabled]
-    if options.plan is not None:
+    if options.plan is not None and options.plan != "auto":
         requested = list(options.plan)
         unknown = [n for n in requested if n not in _FILTER_FACTORIES]
         if unknown:
             raise ParameterError(
                 f"plan names unknown stages {unknown!r}; "
                 f"reorderable stages are {sorted(_FILTER_FACTORIES)!r}"
+            )
+        duplicates = sorted(
+            {n for n in requested if requested.count(n) > 1}
+        )
+        if duplicates:
+            raise ParameterError(
+                f"plan repeats stage name(s) {duplicates!r}; each enabled "
+                f"pair filter must appear exactly once"
             )
         if sorted(requested) != sorted(order):
             raise ParameterError(
@@ -144,6 +160,13 @@ def build_plan(options: GSimJoinOptions) -> JoinPlan:
         order = requested
 
     prefix_stage = MinEditFilter() if options.minedit_prefix else BasicPrefix()
+    return _assemble(options, prefix_stage, order)
+
+
+def _assemble(
+    options: GSimJoinOptions, prefix_stage: object, order: "list[str]"
+) -> JoinPlan:
+    """Instantiate the stage tuple for a validated filter ``order``."""
     stages = (
         PrepareProfiles(),
         prefix_stage,
@@ -156,5 +179,38 @@ def build_plan(options: GSimJoinOptions) -> JoinPlan:
             improved_h=options.improved_h,
             anchor_bound=options.anchor_bound,
         ),
+    )
+    return JoinPlan(stages=stages)
+
+
+def reorder_pair_filters(
+    plan: JoinPlan, order: Tuple[str, ...]
+) -> JoinPlan:
+    """``plan`` with its pair-filter cascade re-ordered to ``order``.
+
+    Reuses the existing stage *objects* (the structural stages keep
+    their identity and any accrued state; only the cascade positions
+    change).  Used by the adaptive planner when a re-plan event fires —
+    ``order`` must be a permutation of the plan's current filter names.
+
+    Raises
+    ------
+    ParameterError
+        When ``order`` is not a permutation of the plan's pair filters.
+    """
+    by_name = {stage.name: stage for stage in plan.pair_filters}
+    if sorted(order) != sorted(by_name):
+        raise ParameterError(
+            f"reorder must permute the plan's pair filters "
+            f"{tuple(sorted(by_name))!r}, got {tuple(order)!r}"
+        )
+    reordered = tuple(by_name[name] for name in order)
+    stages = (
+        plan.prepare,
+        plan.prefix,
+        plan.candidates,
+        plan.size_filter,
+        *reordered,
+        plan.verify,
     )
     return JoinPlan(stages=stages)

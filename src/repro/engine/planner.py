@@ -1,0 +1,537 @@
+"""Adaptive cost-based planning of the per-pair filter cascade.
+
+Every ordering of the Verify cascade is sound (each filter is an
+independent GED lower bound), so the *order* is a pure performance
+decision: the optimal cascade runs filters in ascending
+``cost / (1 - pass_rate)`` — the classical predicate-ordering rule,
+where ``pass_rate`` is the probability a pair survives the filter and
+``cost`` its per-pair evaluation cost.  The expected per-pair cost of
+an order ``f1, f2, ..., fk`` is ``c1 + p1·c2 + p1·p2·c3 + ...``.
+
+This module provides the three pieces the ``plan="auto"`` mode is built
+from:
+
+* **Collection statistics** (:func:`collect_statistics`) — cheap,
+  deterministic aggregates over the q-gram profiles and label multisets
+  the engine already extracts: size means, mean signature length,
+  label-frequency skew and q-gram document-frequency skew.  Pure
+  Python, so the auto planner works with or without numpy.
+* **A static cost/selectivity model** — :func:`unit_costs` scales
+  per-filter unit costs from the collection statistics (coefficients
+  fitted offline against observed per-pair stage seconds on the
+  AIDS-like reference workload; ``benchmarks/bench_planner.py`` reports
+  the observed per-stage costs so the coefficients can be re-derived),
+  and :func:`estimate_pass_rates` measures per-filter selectivity on a
+  deterministic systematic sample of size-compatible graph pairs.
+  :func:`choose_order` and :func:`expected_cost` turn both into an
+  initial cascade order.
+* **A mid-join feedback loop** (:class:`AdaptivePlanner`) — the
+  executor feeds it one observation per candidate pair (the pair's
+  final ``pruned_by`` tag), it maintains per-filter survival counts
+  under the *current* order, and at pair-group boundaries the executor
+  polls it for re-plan decisions: one calibration decision after the
+  first :data:`CALIBRATION_WINDOW` observations, then drift re-checks
+  every :data:`RECHECK_INTERVAL` observations that only re-order when
+  the predicted cost improves by more than :data:`HYSTERESIS`.
+
+Determinism contract: every planner decision is a pure function of
+deterministic inputs — collection statistics, fixed unit-cost
+constants, and per-filter *counts* derived from ``pruned_by`` tags.
+Wall-clock time never feeds a decision (observed stage seconds are
+reported, not consumed), and decisions are applied only at pair-group
+boundaries (between probe graphs), where the batch and scalar paths —
+and a journal-replayed resume — observe identical cumulative counts.
+Kill-and-resume therefore replays the same decisions at the same
+points and stays bit-identical (asserted by ``tests/test_planner.py``).
+
+Parameter advice (``q``, prefix mode) is *advisory only*
+(:func:`advise_parameters`): changing ``q`` or the prefix stage changes
+the candidate set, so it must be chosen before a join starts; the CLI's
+``--explain-plan=json`` surfaces the advice instead of silently
+applying it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.engine.count_filter import passes_size_filter
+from repro.engine.stages import PairContext, PairFilter
+from repro.grams.qgrams import QGramProfile
+
+__all__ = [
+    "CALIBRATION_WINDOW",
+    "RECHECK_INTERVAL",
+    "HYSTERESIS",
+    "SMOOTHING",
+    "SAMPLE_GRAPHS",
+    "SAMPLE_PAIR_CAP",
+    "CollectionStats",
+    "collect_statistics",
+    "unit_costs",
+    "estimate_pass_rates",
+    "expected_cost",
+    "choose_order",
+    "static_choice",
+    "advise_parameters",
+    "AdaptivePlanner",
+]
+
+#: Observations (candidate pairs) consumed before the calibration
+#: decision.  A fixed count approximates "the first few percent" of the
+#: candidate stream at benchmark scales while staying meaningful on
+#: small joins; callers may override per planner instance.
+CALIBRATION_WINDOW = 256
+
+#: Observations between drift re-checks after calibration.
+RECHECK_INTERVAL = 512
+
+#: Relative predicted-cost improvement a drift re-plan must exceed —
+#: re-ordering on noise would thrash the cascade (and the batchable
+#: prefix) for no gain.  The calibration decision itself is exempt.
+HYSTERESIS = 0.1
+
+#: Additive-smoothing weight blending the static selectivity estimate
+#: into the observed rates — filters starved of observations (placed
+#: after a high-pruning filter) keep sane estimates.
+SMOOTHING = 8.0
+
+#: Graphs in the systematic estimation sample (evenly spaced over the
+#: collection, so both ends of a sorted or phased collection are seen).
+SAMPLE_GRAPHS = 24
+
+#: Cap on sampled pairs actually evaluated by the filters.
+SAMPLE_PAIR_CAP = 300
+
+#: Pass rate assumed for a filter the sample produced no evidence for.
+_DEFAULT_RATE = 0.5
+
+LabelPair = Tuple
+
+
+@dataclass(frozen=True)
+class CollectionStats:
+    """Deterministic aggregates of one collection, for the cost model.
+
+    ``mean_signature`` is the mean q-gram multiset size ``|Q_r|`` (the
+    count/local-label/multicover filters merge or group signatures, so
+    their per-pair cost scales with it); ``mean_labels`` the mean
+    number of distinct vertex+edge labels per graph (the global label
+    filter's working set); ``label_skew`` the share of the collection's
+    total label mass held by its most frequent label; ``df_skew`` the
+    document frequency of the most frequent q-gram key as a fraction of
+    the collection.
+    """
+
+    num_graphs: int
+    mean_vertices: float
+    mean_edges: float
+    mean_signature: float
+    mean_labels: float
+    label_skew: float
+    df_skew: float
+
+
+def collect_statistics(
+    profiles: Sequence[QGramProfile], labels: Sequence[LabelPair]
+) -> CollectionStats:
+    """Compute :class:`CollectionStats` from prepared profiles/labels.
+
+    Pure Python over state the engine already holds (no numpy, no extra
+    passes over the graphs): one pass over the profiles for sizes and
+    q-gram document frequencies, one over the label multisets.
+    """
+    n = len(profiles)
+    if n == 0:
+        return CollectionStats(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    total_vertices = 0
+    total_edges = 0
+    total_signature = 0
+    df: Counter = Counter()
+    for profile in profiles:
+        total_vertices += profile.graph.num_vertices
+        total_edges += profile.graph.num_edges
+        total_signature += profile.size
+        df.update(profile.key_counts.keys())
+    total_labels = 0
+    label_mass: Counter = Counter()
+    for vlab, elab in labels:
+        total_labels += len(vlab) + len(elab)
+        label_mass.update(vlab)
+        label_mass.update(elab)
+    mass = sum(label_mass.values())
+    return CollectionStats(
+        num_graphs=n,
+        mean_vertices=total_vertices / n,
+        mean_edges=total_edges / n,
+        mean_signature=total_signature / n,
+        mean_labels=total_labels / n,
+        label_skew=(max(label_mass.values()) / mass) if mass else 0.0,
+        df_skew=(max(df.values()) / n) if df else 0.0,
+    )
+
+
+def unit_costs(stats: CollectionStats) -> Dict[str, float]:
+    """Per-filter unit costs (relative units) for this collection.
+
+    The global label filter touches the distinct-label multisets; the
+    count filter merges the sorted signatures; local label filtering
+    additionally walks the mismatching instances and their vertices;
+    the multicover bound solves a small set-multicover on top.  The
+    base/slope coefficients were fitted offline to observed per-pair
+    stage seconds (``StageStatistics.seconds / input``) on the
+    AIDS-like reference workload; only their *ratios* matter to the
+    ordering decision, and ``benchmarks/bench_planner.py`` records the
+    observed per-stage costs each run so the fit can be re-checked.
+    """
+    sig = stats.mean_signature
+    lab = stats.mean_labels
+    return {
+        "global-label-filter": 0.6 + 0.05 * lab,
+        "count-filter": 0.8 + 0.05 * sig,
+        "local-label-filter": 1.6 + 0.35 * sig,
+        "multicover-filter": 2.4 + 0.60 * sig,
+    }
+
+
+def estimate_pass_rates(
+    profiles: Sequence[QGramProfile],
+    labels: Sequence[LabelPair],
+    tau: int,
+    filters: Sequence[PairFilter],
+    sample_graphs: int = SAMPLE_GRAPHS,
+    pair_cap: int = SAMPLE_PAIR_CAP,
+) -> Dict[str, float]:
+    """Estimate each filter's pass rate on a deterministic sample.
+
+    Takes a systematic sample of ``sample_graphs`` evenly spaced
+    profiles, forms their size-compatible pairs (the cascade only ever
+    sees pairs that passed the size filter) up to ``pair_cap``, and
+    evaluates every filter *independently* on each pair — the same
+    shared :class:`~repro.engine.stages.PairContext` caching the
+    cascade itself uses, so the estimate reflects the filters' real
+    conditional behaviour (e.g. the local label filter passes pairs
+    whose mismatch merge bailed out for the count filter, whatever the
+    order).  Filters with no sampled evidence default to
+    :data:`_DEFAULT_RATE`.
+    """
+    entered = {stage.name: 0 for stage in filters}
+    passed = {stage.name: 0 for stage in filters}
+    n = len(profiles)
+    if n >= 2:
+        stride = max(1, n // sample_graphs)
+        sample = list(range(0, n, stride))[:sample_graphs]
+        pairs_seen = 0
+        for ai in range(len(sample)):
+            if pairs_seen >= pair_cap:
+                break
+            for bi in range(ai + 1, len(sample)):
+                if pairs_seen >= pair_cap:
+                    break
+                a, b = sample[ai], sample[bi]
+                p_a, p_b = profiles[a], profiles[b]
+                if not passes_size_filter(p_a.graph, p_b.graph, tau):
+                    continue
+                pairs_seen += 1
+                ctx = PairContext(p_a, p_b, tau, labels[a], labels[b])
+                for stage in filters:
+                    entered[stage.name] += 1
+                    if stage.prune(ctx) is None:
+                        passed[stage.name] += 1
+    rates = {}
+    for stage in filters:
+        seen = entered[stage.name]
+        rates[stage.name] = (
+            passed[stage.name] / seen if seen else _DEFAULT_RATE
+        )
+    return rates
+
+
+def expected_cost(
+    order: Sequence[str],
+    rates: Mapping[str, float],
+    costs: Mapping[str, float],
+) -> float:
+    """Expected per-pair cascade cost of ``order``: ``Σ_i c_i·Π_{k<i} p_k``."""
+    total = 0.0
+    surviving = 1.0
+    for name in order:
+        total += surviving * costs[name]
+        surviving *= min(max(rates[name], 0.0), 1.0)
+    return total
+
+
+def choose_order(
+    names: Sequence[str],
+    rates: Mapping[str, float],
+    costs: Mapping[str, float],
+) -> Tuple[str, ...]:
+    """The cost-optimal cascade order: ascending ``cost / (1 - pass)``.
+
+    Filters that (apparently) never prune sort after every pruning
+    filter, cheapest first; exact ties break on the stage name so the
+    choice is deterministic across runs and platforms.
+    """
+    def rank(name: str) -> Tuple[int, float, str]:
+        pass_rate = min(max(rates[name], 0.0), 1.0)
+        remainder = 1.0 - pass_rate
+        if remainder <= 1e-12:
+            return (1, costs[name], name)
+        return (0, costs[name] / remainder, name)
+
+    return tuple(sorted(names, key=rank))
+
+
+def static_choice(
+    profiles: Sequence[QGramProfile],
+    labels: Sequence[LabelPair],
+    tau: int,
+    filters: Sequence[PairFilter],
+) -> Tuple[Tuple[str, ...], Dict[str, float], Dict[str, float]]:
+    """The static planning bundle: ``(order, pass_rates, unit_costs)``.
+
+    Convenience wrapper over :func:`collect_statistics`,
+    :func:`estimate_pass_rates`, :func:`unit_costs` and
+    :func:`choose_order` for callers that plan once from collection
+    state (the executor's ``prepare``, the search index's build).
+    """
+    stats = collect_statistics(profiles, labels)
+    rates = estimate_pass_rates(profiles, labels, tau, filters)
+    costs = unit_costs(stats)
+    names = tuple(stage.name for stage in filters)
+    return choose_order(names, rates, costs), rates, costs
+
+
+def advise_parameters(
+    stats: CollectionStats, q: int, tau: int
+) -> Dict[str, object]:
+    """Advisory ``q``/prefix-mode recommendation for this collection.
+
+    Follows the paper's evaluation: ``q=4`` on AIDS-sized molecule
+    graphs, ``q=3`` on the smaller sparse PROTEIN graphs — small or
+    sparse graphs have few long simple paths, so a large ``q`` starves
+    the signatures.  Minimum-edit-filtered prefixes pay off whenever
+    ``tau > 0``.  *Advisory only*: changing ``q`` or the prefix stage
+    changes the candidate set itself, so the runtime optimizer never
+    applies it — it must be chosen before the join (the advice is
+    surfaced by ``--explain-plan=json``).
+    """
+    sparse = stats.mean_vertices < 12.0 or (
+        stats.mean_vertices > 0.0
+        and stats.mean_edges / stats.mean_vertices < 1.0
+    )
+    return {
+        "current_q": q,
+        "recommended_q": 3 if sparse else 4,
+        "recommended_prefix": (
+            "minedit-prefix" if tau > 0 else "basic-prefix"
+        ),
+        "note": (
+            "advisory: q and the prefix mode shape the candidate set "
+            "and must be fixed before the join starts"
+        ),
+    }
+
+
+class AdaptivePlanner:
+    """The mid-join feedback loop behind ``GSimJoinOptions(plan="auto")``.
+
+    The executor calls :meth:`observe` once per candidate pair with the
+    pair's final ``pruned_by`` tag and polls :meth:`poll` at pair-group
+    boundaries (between probe graphs); ``poll`` returns a re-plan event
+    dict — ``{"pair_index", "trigger", "from", "to",
+    "estimated_cost_before", "estimated_cost_after"}`` — when the
+    cascade should be re-ordered, or ``None``.  Triggers: ``"static"``
+    (the initial model-driven choice, pending from construction),
+    ``"calibration"`` (after :data:`CALIBRATION_WINDOW` observations,
+    no hysteresis) and ``"drift"`` (every :data:`RECHECK_INTERVAL`
+    observations, gated by :data:`HYSTERESIS`).
+
+    Observations are attributed under the *current* order: a pair
+    pruned by filter ``f`` entered every filter up to ``f`` and passed
+    those before it; a surviving pair (or one decided by GED) entered
+    and passed all.  Rates blend the observations with the static
+    estimate under additive smoothing, so rarely-exercised filters
+    never degenerate.  All state is counts — never wall-clock — so
+    decisions replay deterministically from a checkpoint journal.
+
+    :meth:`freeze` permanently pins the current order (the parallel
+    driver freezes after calibration and ships the order to workers).
+    """
+
+    __slots__ = (
+        "calibration_window",
+        "recheck_interval",
+        "hysteresis",
+        "smoothing",
+        "_names",
+        "_by_tag",
+        "_order",
+        "_static",
+        "_costs",
+        "_entered",
+        "_passed",
+        "_observations",
+        "_decided_at",
+        "_calibrated",
+        "_frozen",
+        "_static_event",
+    )
+
+    def __init__(
+        self,
+        filters: Sequence[PairFilter],
+        static_rates: Mapping[str, float],
+        costs: Mapping[str, float],
+        calibration_window: int = CALIBRATION_WINDOW,
+        recheck_interval: int = RECHECK_INTERVAL,
+        hysteresis: float = HYSTERESIS,
+        smoothing: float = SMOOTHING,
+    ) -> None:
+        """Bind the cascade (in its current order) and the static model."""
+        self.calibration_window = calibration_window
+        self.recheck_interval = recheck_interval
+        self.hysteresis = hysteresis
+        self.smoothing = smoothing
+        self._names: Tuple[str, ...] = tuple(
+            stage.name for stage in filters
+        )
+        self._by_tag: Dict[str, str] = {
+            stage.tag: stage.name for stage in filters
+        }
+        self._order: Tuple[str, ...] = self._names
+        self._static: Dict[str, float] = dict(static_rates)
+        self._costs: Dict[str, float] = dict(costs)
+        self._entered: Dict[str, int] = {name: 0 for name in self._names}
+        self._passed: Dict[str, int] = {name: 0 for name in self._names}
+        self._observations = 0
+        self._decided_at = 0
+        self._calibrated = False
+        self._frozen = False
+        self._static_event: Optional[Dict[str, object]] = None
+        best = choose_order(self._names, self._static, self._costs)
+        if best != self._order:
+            self._static_event = self._event("static", best, self._static)
+            self._order = best
+
+    # -- read-only views -------------------------------------------------
+
+    @property
+    def order(self) -> Tuple[str, ...]:
+        """The currently chosen cascade order."""
+        return self._order
+
+    @property
+    def observations(self) -> int:
+        """Candidate pairs observed so far."""
+        return self._observations
+
+    @property
+    def calibrated(self) -> bool:
+        """Whether the calibration decision has been taken."""
+        return self._calibrated
+
+    @property
+    def frozen(self) -> bool:
+        """Whether :meth:`freeze` pinned the order permanently."""
+        return self._frozen
+
+    @property
+    def costs(self) -> Dict[str, float]:
+        """The per-filter unit costs (relative units)."""
+        return dict(self._costs)
+
+    def current_rates(self) -> Dict[str, float]:
+        """Smoothed per-filter pass rates (observations + static prior)."""
+        rates = {}
+        for name in self._names:
+            rates[name] = (
+                self._passed[name] + self.smoothing * self._static[name]
+            ) / (self._entered[name] + self.smoothing)
+        return rates
+
+    # -- the feedback loop ----------------------------------------------
+
+    def observe(self, tag: Optional[str]) -> None:
+        """Account one candidate pair's final ``pruned_by`` tag.
+
+        ``None`` and non-cascade tags (``"ged"``) mean the pair survived
+        every filter.  Frozen planners ignore observations — the order
+        can no longer change, so the counts have no consumer.
+        """
+        if self._frozen:
+            return
+        self._observations += 1
+        pruned = self._by_tag.get(tag, "") if tag is not None else ""
+        for name in self._order:
+            self._entered[name] += 1
+            if name == pruned:
+                return
+            self._passed[name] += 1
+
+    def poll(self) -> Optional[Dict[str, object]]:
+        """The pending re-plan decision at a pair-group boundary.
+
+        Returns the event dict and updates :attr:`order` when the
+        cascade should change; ``None`` otherwise.  Callers (the
+        executor) must apply the returned order before processing the
+        next pair group and record the event in the run statistics.
+        """
+        if self._frozen:
+            return None
+        if self._static_event is not None:
+            event, self._static_event = self._static_event, None
+            return event
+        if not self._calibrated:
+            if self._observations < self.calibration_window:
+                return None
+            self._calibrated = True
+            return self._decide("calibration", 0.0)
+        if self._observations - self._decided_at < self.recheck_interval:
+            return None
+        return self._decide("drift", self.hysteresis)
+
+    def freeze(self) -> None:
+        """Pin the current order permanently (no further decisions)."""
+        self._frozen = True
+
+    # -- internals -------------------------------------------------------
+
+    def _decide(
+        self, trigger: str, hysteresis: float
+    ) -> Optional[Dict[str, object]]:
+        """Evaluate a re-plan under ``hysteresis``; update the order."""
+        self._decided_at = self._observations
+        rates = self.current_rates()
+        best = choose_order(self._names, rates, self._costs)
+        if best == self._order:
+            return None
+        current = expected_cost(self._order, rates, self._costs)
+        proposed = expected_cost(best, rates, self._costs)
+        if current - proposed <= hysteresis * current:
+            return None
+        event = self._event(trigger, best, rates)
+        self._order = best
+        return event
+
+    def _event(
+        self,
+        trigger: str,
+        proposed: Tuple[str, ...],
+        rates: Mapping[str, float],
+    ) -> Dict[str, object]:
+        """Build one re-plan event dict (stored in ``JoinStatistics``)."""
+        return {
+            "pair_index": self._observations,
+            "trigger": trigger,
+            "from": list(self._order),
+            "to": list(proposed),
+            "estimated_cost_before": expected_cost(
+                self._order, rates, self._costs
+            ),
+            "estimated_cost_after": expected_cost(
+                proposed, rates, self._costs
+            ),
+        }

@@ -1,0 +1,15 @@
+"""Fixture: planner violations — hot-path copies and an upward import."""
+
+from repro.core.search import GSimIndex  # noqa: F401  line 3: layering
+
+
+def observe_stream(tags, order, costs):
+    entered = {}
+    for tag in tags:
+        names = list(order)
+        weights = dict(costs)
+        entered[tag] = (names, weights)
+    while tags:
+        frozen = tuple(entered)  # repro: ignore[hot-path-alloc]
+        tags.pop()
+    return entered

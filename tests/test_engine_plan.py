@@ -107,8 +107,37 @@ def test_plan_naming_disabled_filter_rejected():
 
 def test_plan_with_duplicate_filter_rejected():
     options = planned(GSimJoinOptions.basic(), "count-filter", "count-filter")
-    with pytest.raises(ParameterError, match="permutation"):
+    with pytest.raises(ParameterError, match="repeats stage name"):
         build_plan(options)
+
+
+def test_plan_with_duplicate_of_enabled_set_rejected():
+    # Same multiset size as the enabled filters, but one name repeated:
+    # the duplicate diagnosis must name the offender, not the generic
+    # permutation message.
+    options = planned(
+        GSimJoinOptions.full(),
+        "count-filter", "count-filter", "global-label-filter",
+    )
+    with pytest.raises(
+        ParameterError, match=r"repeats stage name\(s\) \['count-filter'\]"
+    ):
+        build_plan(options)
+
+
+def test_plan_rejects_unknown_string():
+    with pytest.raises(ParameterError, match="plan must be 'auto'"):
+        GSimJoinOptions(plan="fastest")
+
+
+def test_plan_auto_string_survives_post_init():
+    options = GSimJoinOptions(plan="auto")
+    assert options.plan == "auto"
+    # build_plan treats "auto" as the default order; the adaptive
+    # planner re-orders inside the executor, not here.
+    assert build_plan(options).stage_names() == build_plan(
+        GSimJoinOptions()
+    ).stage_names()
 
 
 # ---------------------------------------------------- plan reordering

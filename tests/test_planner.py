@@ -1,0 +1,530 @@
+"""Adaptive cost-based planner tests (``GSimJoinOptions(plan="auto")``).
+
+Covers the static model (:mod:`repro.engine.planner`: statistics, unit
+costs, sampled pass rates, the predicate-ordering rule), the
+:class:`~repro.engine.planner.AdaptivePlanner` feedback loop (static /
+calibration / drift triggers, hysteresis, freezing), and the engine's
+end-to-end guarantees: every legal cascade permutation *and* the auto
+planner produce bit-identical result pairs and undecided sets (a
+hypothesis property over seeds, q and tau); an auto-planned join killed
+mid-calibration resumes bit-identically from its journal, re-plan
+events included; the parallel, sharded and search-index drivers agree
+with the sequential join under auto; and the CLI's
+``--auto-plan --explain-plan json`` report parses.
+"""
+
+import dataclasses
+import itertools
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.core.join import GSimJoinOptions, gsim_join, gsim_join_rs
+from repro.core.parallel import gsim_join_parallel
+from repro.core.search import GSimIndex
+from repro.core.sharded import gsim_join_sharded, result_fingerprint
+from repro.engine import executor as executor_mod
+from repro.engine.options import build_sorter
+from repro.engine.plan import build_plan
+from repro.engine.planner import (
+    AdaptivePlanner,
+    CollectionStats,
+    advise_parameters,
+    choose_order,
+    collect_statistics,
+    estimate_pass_rates,
+    expected_cost,
+    static_choice,
+    unit_costs,
+)
+from repro.exceptions import InjectedFaultError
+from repro.graph import save_graphs
+from repro.grams.qgrams import extract_qgrams
+from repro.runtime import FaultPlan
+
+from .test_join import molecule_collection
+
+TAU = 2
+
+#: The full variant's pair-filter cascade (every legal plan is one of
+#: its permutations).
+FULL_FILTERS = ("global-label-filter", "count-filter", "local-label-filter")
+
+
+def auto_options(base=None):
+    """``base`` (default full) with the adaptive planner enabled."""
+    return dataclasses.replace(
+        base if base is not None else GSimJoinOptions.full(), plan="auto"
+    )
+
+
+def prepared_collection(n, seed, options):
+    """Sorted profiles, labels and the plan's filters for a collection."""
+    graphs = molecule_collection(n, seed=seed)
+    profiles = [extract_qgrams(g, options.q) for g in graphs]
+    sorter = build_sorter(profiles, options)
+    for profile in profiles:
+        sorter.sort_profile(profile)
+    labels = [
+        (g.vertex_label_multiset(), g.edge_label_multiset()) for g in graphs
+    ]
+    return profiles, labels, build_plan(options).pair_filters
+
+
+# ----------------------------------------------------- the static model
+
+
+class TestStaticModel:
+    def test_collect_statistics_aggregates(self):
+        profiles, labels, _ = prepared_collection(
+            12, 5, GSimJoinOptions.full()
+        )
+        stats = collect_statistics(profiles, labels)
+        assert stats.num_graphs == 12
+        assert 5 <= stats.mean_vertices <= 15
+        assert stats.mean_edges > 0
+        assert stats.mean_signature > 0
+        assert stats.mean_labels > 0
+        assert 0 < stats.label_skew <= 1.0
+        assert 0 < stats.df_skew <= 1.0
+
+    def test_collect_statistics_empty(self):
+        stats = collect_statistics([], [])
+        assert stats == CollectionStats(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+    def test_unit_costs_reflect_filter_complexity(self):
+        stats = CollectionStats(10, 8.0, 8.0, 20.0, 4.0, 0.3, 0.5)
+        costs = unit_costs(stats)
+        assert set(costs) == {
+            "global-label-filter",
+            "count-filter",
+            "local-label-filter",
+            "multicover-filter",
+        }
+        assert all(c > 0 for c in costs.values())
+        # The signature-walking filters must stay costlier than the
+        # merge, which must stay costlier than the label intersection.
+        assert (
+            costs["global-label-filter"]
+            < costs["count-filter"]
+            < costs["local-label-filter"]
+            < costs["multicover-filter"]
+        )
+
+    def test_expected_cost_formula(self):
+        rates = {"a": 0.5, "b": 0.2}
+        costs = {"a": 1.0, "b": 2.0}
+        # c_a + p_a * c_b
+        assert expected_cost(("a", "b"), rates, costs) == pytest.approx(2.0)
+        # c_b + p_b * c_a
+        assert expected_cost(("b", "a"), rates, costs) == pytest.approx(2.2)
+
+    def test_choose_order_ranks_by_cost_per_pruned(self):
+        rates = {"a": 0.9, "b": 0.5}
+        costs = {"a": 1.0, "b": 2.0}
+        # rank(a) = 1/0.1 = 10, rank(b) = 2/0.5 = 4 -> b first.
+        assert choose_order(("a", "b"), rates, costs) == ("b", "a")
+
+    def test_choose_order_never_pruning_goes_last(self):
+        rates = {"a": 1.0, "b": 0.99}
+        costs = {"a": 0.1, "b": 5.0}
+        assert choose_order(("a", "b"), rates, costs) == ("b", "a")
+
+    def test_choose_order_ties_break_on_name(self):
+        rates = {"x": 0.5, "m": 0.5}
+        costs = {"x": 1.0, "m": 1.0}
+        assert choose_order(("x", "m"), rates, costs) == ("m", "x")
+
+    def test_choose_order_minimizes_expected_cost(self):
+        rates = {"a": 0.3, "b": 0.7, "c": 0.05}
+        costs = {"a": 1.0, "b": 0.5, "c": 4.0}
+        best = choose_order(("a", "b", "c"), rates, costs)
+        best_cost = expected_cost(best, rates, costs)
+        for order in itertools.permutations(("a", "b", "c")):
+            assert best_cost <= expected_cost(order, rates, costs) + 1e-12
+
+    def test_estimate_pass_rates_bounds_and_determinism(self):
+        options = GSimJoinOptions.full()
+        profiles, labels, filters = prepared_collection(14, 7, options)
+        first = estimate_pass_rates(profiles, labels, TAU, filters)
+        second = estimate_pass_rates(profiles, labels, TAU, filters)
+        assert first == second
+        assert set(first) == set(FULL_FILTERS)
+        assert all(0.0 <= rate <= 1.0 for rate in first.values())
+
+    def test_static_choice_returns_permutation(self):
+        options = GSimJoinOptions.full()
+        profiles, labels, filters = prepared_collection(14, 9, options)
+        order, rates, costs = static_choice(profiles, labels, TAU, filters)
+        assert sorted(order) == sorted(FULL_FILTERS)
+        assert set(rates) == set(FULL_FILTERS)
+        assert set(costs) >= set(FULL_FILTERS)
+
+    def test_advise_parameters_sparse_vs_dense(self):
+        sparse = CollectionStats(10, 8.0, 8.0, 10.0, 3.0, 0.3, 0.4)
+        dense = CollectionStats(10, 30.0, 60.0, 80.0, 5.0, 0.3, 0.4)
+        assert advise_parameters(sparse, 4, 2)["recommended_q"] == 3
+        assert advise_parameters(dense, 4, 2)["recommended_q"] == 4
+        assert advise_parameters(dense, 4, 0)["recommended_prefix"] == (
+            "basic-prefix"
+        )
+        assert advise_parameters(dense, 4, 2)["recommended_prefix"] == (
+            "minedit-prefix"
+        )
+        assert advise_parameters(sparse, 4, 2)["current_q"] == 4
+
+
+# ------------------------------------------------ the adaptive planner
+
+
+class _StubFilter:
+    """Name/tag carrier for direct planner tests (prune never called)."""
+
+    def __init__(self, name, tag):
+        self.name = name
+        self.tag = tag
+
+
+def _planner(static_rates, **kwargs):
+    filters = [_StubFilter("a", "ta"), _StubFilter("b", "tb")]
+    costs = {"a": 1.0, "b": 1.0}
+    return AdaptivePlanner(filters, static_rates, costs, **kwargs)
+
+
+class TestAdaptivePlanner:
+    def test_static_event_pending_when_model_disagrees(self):
+        planner = _planner({"a": 0.9, "b": 0.1})
+        # rank(a) = 1/0.1 = 10, rank(b) = 1/0.9 = 1.1: b should lead.
+        assert planner.order == ("b", "a")
+        event = planner.poll()
+        assert event is not None and event["trigger"] == "static"
+        assert event["from"] == ["a", "b"] and event["to"] == ["b", "a"]
+        assert event["pair_index"] == 0
+        assert planner.poll() is None
+
+    def test_no_static_event_when_initial_order_optimal(self):
+        planner = _planner({"a": 0.1, "b": 0.9})
+        assert planner.order == ("a", "b")
+        assert planner.poll() is None
+
+    def test_observe_attributes_under_current_order(self):
+        planner = _planner(
+            {"a": 0.5, "b": 0.5}, calibration_window=100, smoothing=2.0
+        )
+        for _ in range(3):
+            planner.observe(None)  # survived both
+        planner.observe("ta")  # pruned by a: never entered b
+        rates = planner.current_rates()
+        # a: entered 4, passed 3, smoothed (3 + 2*0.5) / (4 + 2) = 2/3
+        assert rates["a"] == pytest.approx(4.0 / 6.0)
+        # b: entered 3, passed 3, smoothed (3 + 1) / (3 + 2) = 0.8
+        assert rates["b"] == pytest.approx(4.0 / 5.0)
+        assert planner.observations == 4
+
+    def test_calibration_reorders_without_hysteresis(self):
+        planner = _planner(
+            {"a": 0.1, "b": 0.9}, calibration_window=4, smoothing=1.0
+        )
+        assert planner.order == ("a", "b")
+        for _ in range(4):
+            planner.observe("tb")  # b prunes everything in practice
+        event = planner.poll()
+        assert event is not None and event["trigger"] == "calibration"
+        assert planner.order == ("b", "a")
+        assert planner.calibrated
+        assert event["estimated_cost_after"] < event["estimated_cost_before"]
+        assert planner.poll() is None  # recheck interval not yet reached
+
+    def test_calibration_below_window_waits(self):
+        planner = _planner({"a": 0.1, "b": 0.9}, calibration_window=4)
+        planner.observe("tb")
+        assert planner.poll() is None
+        assert not planner.calibrated
+
+    def test_drift_reorders_when_hysteresis_cleared(self):
+        planner = _planner(
+            {"a": 0.1, "b": 0.9},
+            calibration_window=2,
+            recheck_interval=2,
+            hysteresis=0.0,
+            smoothing=0.5,
+        )
+        planner.observe("tb")
+        planner.observe("tb")
+        assert planner.poll()["trigger"] == "calibration"
+        assert planner.order == ("b", "a")
+        planner.observe("ta")
+        planner.observe("ta")
+        event = planner.poll()
+        assert event is not None and event["trigger"] == "drift"
+        assert planner.order == ("a", "b")
+
+    def test_drift_suppressed_by_hysteresis(self):
+        planner = _planner(
+            {"a": 0.1, "b": 0.9},
+            calibration_window=2,
+            recheck_interval=2,
+            hysteresis=1.0,
+            smoothing=0.5,
+        )
+        planner.observe("tb")
+        planner.observe("tb")
+        planner.poll()
+        assert planner.order == ("b", "a")
+        planner.observe("ta")
+        planner.observe("ta")
+        assert planner.poll() is None
+        assert planner.order == ("b", "a")
+
+    def test_freeze_stops_observations_and_decisions(self):
+        planner = _planner({"a": 0.1, "b": 0.9}, calibration_window=1)
+        planner.freeze()
+        assert planner.frozen
+        planner.observe("tb")
+        assert planner.observations == 0
+        assert planner.poll() is None
+        assert planner.order == ("a", "b")
+
+    def test_unknown_tags_count_as_survivors(self):
+        planner = _planner(
+            {"a": 0.5, "b": 0.5}, calibration_window=100, smoothing=1.0
+        )
+        planner.observe("ged")  # not a cascade tag: pair survived filters
+        rates = planner.current_rates()
+        assert rates["a"] == pytest.approx((1 + 0.5) / 2.0)
+        assert rates["b"] == pytest.approx((1 + 0.5) / 2.0)
+
+
+# ----------------------------------------- end-to-end result parity
+
+
+class TestAutoParity:
+    def test_self_join_auto_matches_default(self):
+        graphs = molecule_collection(24, seed=3)
+        default = gsim_join(graphs, TAU, options=GSimJoinOptions.full())
+        planned = gsim_join(graphs, TAU, options=auto_options())
+        assert planned.pairs == default.pairs
+        assert planned.undecided == default.undecided
+
+    def test_rs_join_auto_matches_default(self):
+        outer = molecule_collection(12, seed=41)
+        inner = molecule_collection(12, seed=43)
+        default = gsim_join_rs(
+            outer, inner, TAU, options=GSimJoinOptions.full()
+        )
+        planned = gsim_join_rs(outer, inner, TAU, options=auto_options())
+        assert planned.pairs == default.pairs
+        assert planned.undecided == default.undecided
+
+    def test_auto_annotates_stage_rows_and_advice(self):
+        graphs = molecule_collection(16, seed=3)
+        result = gsim_join(graphs, TAU, options=auto_options())
+        cascade = [
+            s for s in result.stats.stages if s.name in FULL_FILTERS
+        ]
+        assert cascade
+        for row in cascade:
+            assert row.estimated_selectivity is not None
+            assert 0.0 <= row.estimated_selectivity <= 1.0
+            assert row.estimated_cost is not None and row.estimated_cost > 0
+        advice = result.stats.plan_advice
+        assert advice["recommended_q"] in (3, 4)
+        assert advice["recommended_prefix"] == "minedit-prefix"
+        # Non-auto runs stay unannotated.
+        plain = gsim_join(graphs, TAU, options=GSimJoinOptions.full())
+        assert all(
+            s.estimated_selectivity is None for s in plain.stats.stages
+        )
+        assert plain.stats.plan_advice == {}
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        q=st.integers(min_value=1, max_value=3),
+        tau=st.integers(min_value=0, max_value=3),
+    )
+    def test_every_permutation_and_auto_bit_identical(self, seed, q, tau):
+        graphs = molecule_collection(10, seed=seed)
+        base = GSimJoinOptions.full(q=q)
+        baseline = gsim_join(graphs, tau, options=base)
+        for order in itertools.permutations(FULL_FILTERS):
+            result = gsim_join(
+                graphs, tau, options=dataclasses.replace(base, plan=order)
+            )
+            assert result.pairs == baseline.pairs
+            assert result.undecided == baseline.undecided
+        result = gsim_join(graphs, tau, options=auto_options(base))
+        assert result.pairs == baseline.pairs
+        assert result.undecided == baseline.undecided
+
+
+# ------------------------------------- kill-and-resume bit-identity
+
+
+def _small_window_planner(filters, rates, costs):
+    """Executor-compatible factory with test-sized planner windows."""
+    return AdaptivePlanner(
+        filters, rates, costs, calibration_window=6, recheck_interval=8
+    )
+
+
+@pytest.fixture
+def small_windows(monkeypatch):
+    """Shrink the planner windows so joins of ~24 graphs calibrate."""
+    monkeypatch.setattr(
+        executor_mod, "AdaptivePlanner", _small_window_planner
+    )
+
+
+def assert_same_result(resumed, clean):
+    assert resumed.pairs == clean.pairs
+    assert resumed.undecided == clean.undecided
+    assert resumed.stats.replan_events == clean.stats.replan_events
+    for field in ("cand1", "cand2", "results", "ged_calls",
+                  "pruned_by_count", "pruned_by_global_label",
+                  "pruned_by_local_label"):
+        assert getattr(resumed.stats, field) == getattr(clean.stats, field)
+
+
+class TestAutoResume:
+    @pytest.mark.parametrize("kill_at", [4, 12])
+    def test_raise_then_resume_bit_identical(
+        self, tmp_path, small_windows, kill_at
+    ):
+        # kill_at=4 dies mid-calibration (window is 6); kill_at=12 dies
+        # after the calibration decision was taken and journaled.
+        graphs = molecule_collection(24, seed=11)
+        options = auto_options()
+        journal = tmp_path / "auto.jsonl"
+        with pytest.raises(InjectedFaultError):
+            gsim_join(
+                graphs, TAU, options=options, checkpoint=journal,
+                fault=FaultPlan("raise", at=kill_at),
+            )
+        clean = gsim_join(graphs, TAU, options=options)
+        resumed = gsim_join(graphs, TAU, options=options, checkpoint=journal)
+        assert_same_result(resumed, clean)
+        assert resumed.stats.replayed_pairs == kill_at - 1
+
+    def test_resume_with_default_windows(self, tmp_path):
+        # Same property under the production window sizes (the planner
+        # stays in its calibration phase for this collection).
+        graphs = molecule_collection(20, seed=23)
+        options = auto_options()
+        journal = tmp_path / "auto.jsonl"
+        with pytest.raises(InjectedFaultError):
+            gsim_join(
+                graphs, TAU, options=options, checkpoint=journal,
+                fault=FaultPlan("raise", at=5),
+            )
+        clean = gsim_join(graphs, TAU, options=options)
+        resumed = gsim_join(graphs, TAU, options=options, checkpoint=journal)
+        assert_same_result(resumed, clean)
+
+    def test_parallel_raise_mid_calibration_then_resume(
+        self, tmp_path, small_windows
+    ):
+        graphs = molecule_collection(24, seed=13)
+        options = auto_options()
+        journal = tmp_path / "par.jsonl"
+        with pytest.raises(InjectedFaultError):
+            gsim_join_parallel(
+                graphs, TAU, options=options, workers=2,
+                checkpoint=journal, fault=FaultPlan("raise", at=3),
+            )
+        clean = gsim_join_parallel(graphs, TAU, options=options, workers=2)
+        resumed = gsim_join_parallel(
+            graphs, TAU, options=options, workers=2, checkpoint=journal
+        )
+        assert_same_result(resumed, clean)
+
+
+# -------------------------------------------- drivers agree under auto
+
+
+class TestDriverParity:
+    def test_parallel_auto_matches_sequential(self, small_windows):
+        graphs = molecule_collection(24, seed=13)
+        options = auto_options()
+        sequential = gsim_join(graphs, TAU, options=options)
+        parallel = gsim_join_parallel(
+            graphs, TAU, options=options, workers=2
+        )
+        assert parallel.pair_set() == sequential.pair_set()
+        assert sorted(parallel.undecided) == sorted(sequential.undecided)
+
+    def test_parallel_single_worker_auto_matches_sequential(self):
+        graphs = molecule_collection(20, seed=17)
+        options = auto_options()
+        sequential = gsim_join(graphs, TAU, options=options)
+        parallel = gsim_join_parallel(
+            graphs, TAU, options=options, workers=1
+        )
+        assert parallel.pair_set() == sequential.pair_set()
+
+    def test_sharded_auto_matches_sequential(self, tmp_path):
+        graphs = molecule_collection(24, seed=17)
+        options = auto_options()
+        sequential = gsim_join(graphs, TAU, options=options)
+        sharded = gsim_join_sharded(
+            graphs, TAU, options=options,
+            spill_dir=tmp_path / "spill", shards=3,
+        )
+        assert result_fingerprint(sharded) == result_fingerprint(sequential)
+
+    def test_index_auto_queries_match_default(self):
+        graphs = molecule_collection(24, seed=19)
+        base, extra = graphs[:20], graphs[20:]
+        default_index = GSimIndex(base, tau_max=TAU)
+        auto_index = GSimIndex(base, tau_max=TAU, options=auto_options())
+        for g in base[:6]:
+            assert auto_index.query(g, TAU) == default_index.query(g, TAU)
+        # Inserts mark the auto plan stale; the next query re-plans and
+        # must still agree with the default index.
+        for g in extra:
+            default_index.add(g)
+            auto_index.add(g)
+        for g in graphs[:6]:
+            assert auto_index.query(g, TAU) == default_index.query(g, TAU)
+        assert sorted(
+            f.name for f in auto_index._plan.pair_filters
+        ) == sorted(FULL_FILTERS)
+
+
+# ------------------------------------------------------------- the CLI
+
+
+class TestExplainPlanJson:
+    def test_cli_auto_plan_explain_json(self, tmp_path, capsys):
+        path = tmp_path / "graphs.txt"
+        save_graphs(molecule_collection(16, seed=3), path)
+        rc = main([
+            "join", str(path), "--tau", "1",
+            "--auto-plan", "--explain-plan", "json", "--quiet",
+        ])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().err)
+        assert set(report) == {"stages", "replan_events", "plan_advice"}
+        names = [row["name"] for row in report["stages"]]
+        assert "verify" in names and set(FULL_FILTERS) <= set(names)
+        for row in report["stages"]:
+            if row["name"] in FULL_FILTERS:
+                assert row["estimated_selectivity"] is not None
+                assert row["estimated_cost"] is not None
+        assert report["plan_advice"]["recommended_q"] in (3, 4)
+        for event in report["replan_events"]:
+            assert event["trigger"] in ("static", "calibration", "drift")
+
+    def test_cli_explain_table_shows_model_columns(self, tmp_path, capsys):
+        path = tmp_path / "graphs.txt"
+        save_graphs(molecule_collection(16, seed=3), path)
+        rc = main([
+            "join", str(path), "--tau", "1",
+            "--auto-plan", "--explain-plan", "--quiet",
+        ])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "est.sel" in err and "obs.sel" in err and "est.cost" in err
