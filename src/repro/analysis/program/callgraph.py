@@ -49,15 +49,21 @@ ENTRY_POINT_SUFFIXES = (
     "execute_parallel_join",
 )
 
-#: A*-family verification entry names for budget-threading reachability.
+#: Verification entry names for budget-threading reachability: the
+#: search functions, the engine wrappers, and the portfolio's uniform
+#: ``VerifierBackend.verify`` surface (matched as a bare method name so
+#: unresolved ``backend.verify(...)`` attr calls count as verifier
+#: calls too).
 VERIFIER_NAMES = frozenset(
     {
         "graph_edit_distance_detailed",
         "compiled_ged_detailed",
         "dfs_ged",
+        "dfs_ged_compiled",
         "verify_pair",
         "run_cascade",
         "verify_candidate",
+        "verify",
     }
 )
 

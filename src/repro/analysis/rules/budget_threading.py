@@ -14,16 +14,23 @@ Whole-program check, per call site:
 1. the **caller** has a budget in scope — a parameter whose name
    contains ``budget``, or it reads a ``.budget`` attribute;
 2. the **callee** resolves in the call graph, accepts a budget
-   parameter, and transitively reaches an A*-family verifier
+   parameter, and transitively reaches a verifier
    (``graph_edit_distance_detailed``, ``compiled_ged_detailed``,
-   ``dfs_ged``, ``verify_pair``, ``run_cascade``,
-   ``verify_candidate``);
+   ``dfs_ged``, ``dfs_ged_compiled``, ``verify_pair``,
+   ``run_cascade``, ``verify_candidate``);
 3. the call binds **no** budget — no ``budget=`` keyword, no
    positional argument covering the budget parameter's index (method
    calls account for the bound ``self``), and no ``*args``/``**kwargs``
    that could be carrying it.
 
 All three together mean the budget was dropped on a verification path.
+
+The portfolio call family (PR 10) is covered by a fourth clause: an
+*unresolved* ``<expr>.verify(...)`` attribute call is treated as a
+``VerifierBackend.verify`` dispatch — its uniform signature is
+``verify(self, r, s, tau, budget=None, ...)``, so a call from a
+budget-holding caller that binds neither ``budget=`` nor a fourth
+positional argument dropped the budget at the dispatch point.
 """
 
 from __future__ import annotations
@@ -34,6 +41,10 @@ from repro.analysis.engine import Finding
 from repro.analysis.registry import Rule, register
 
 __all__ = ["BudgetThreadingRule"]
+
+#: ``VerifierBackend.verify(self, r, s, tau, budget=None, ...)`` — the
+#: budget parameter's index in the portfolio's uniform surface.
+_PORTFOLIO_BUDGET_INDEX = 4
 
 
 def _short(qual: str) -> str:
@@ -63,7 +74,31 @@ class BudgetThreadingRule(Rule):
                 continue
             for call in caller["calls"]:
                 callee_qual = call.get("resolved")
-                if callee_qual is None or callee_qual == caller_qual:
+                if callee_qual is None:
+                    if call["attr"] != "verify":
+                        continue
+                    if call["has_star"] or call["has_kwstar"]:
+                        continue
+                    if any("budget" in kw for kw in call["keywords"]):
+                        continue
+                    # Bound-method call: ``self`` is implicit, so the
+                    # budget slot is positional index 3 at the site.
+                    if call["nargs"] + 1 > _PORTFOLIO_BUDGET_INDEX:
+                        continue
+                    yield Finding(
+                        path=model.path_of(caller_qual),
+                        line=call["line"],
+                        rule=self.id,
+                        message=(
+                            f"verification budget dropped: "
+                            f"'{_short(caller_qual)}' has a budget in "
+                            f"scope but dispatches '.verify(...)' "
+                            f"(VerifierBackend surface) without binding "
+                            f"its 'budget' parameter"
+                        ),
+                    )
+                    continue
+                if callee_qual == caller_qual:
                     continue
                 budget_index = model.budget_param_index(callee_qual)
                 if budget_index is None:

@@ -14,6 +14,7 @@ from typing import Hashable, List, Optional, Sequence, Tuple
 
 from repro.core.join import GSimJoinOptions
 from repro.core.search import GSimIndex
+from repro.engine.result import JoinStatistics
 from repro.exceptions import ParameterError
 from repro.graph.graph import Graph
 
@@ -55,6 +56,11 @@ class GedKnnClassifier:
         self.default_label = default_label
         self._index = GSimIndex(tau_max=tau_max, options=options)
         self._labels: dict = {}
+        #: Accrued over every probe; the index's verdict memo makes the
+        #: growing-radius top-k search and repeated probes of one query
+        #: graph reuse earlier verdicts, visible here as ``memo_hits``
+        #: rising while ``ged_calls`` stalls.
+        self.stats = JoinStatistics()
 
     def fit(
         self, graphs: Sequence[Graph], labels: Sequence[Hashable]
@@ -80,8 +86,13 @@ class GedKnnClassifier:
         return self
 
     def neighbors(self, g: Graph) -> List[Tuple[Hashable, int]]:
-        """The query's ``k`` nearest training graphs as (id, distance)."""
-        return self._index.query_top_k(g, self.k)
+        """The query's ``k`` nearest training graphs as (id, distance).
+
+        Probes reuse the index's verdict memo: pairs decided during an
+        earlier radius (or an earlier probe of the same query graph)
+        are answered without re-running the search backend.
+        """
+        return self._index.query_top_k(g, self.k, stats=self.stats)
 
     def predict(self, g: Graph) -> Hashable:
         """Majority label among the nearest neighbours.

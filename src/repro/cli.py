@@ -25,6 +25,7 @@ from repro.core.join import GSimJoinOptions, gsim_join
 from repro.datasets import aids_like, protein_like
 from repro.exceptions import ReproError
 from repro.ged import graph_edit_distance
+from repro.ged.portfolio import registered_names
 from repro.graph import assign_ids, collection_statistics, load_graphs, save_graphs
 from repro.runtime import VerificationBudget
 
@@ -62,18 +63,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel verification processes (gsimjoin only; default 1)",
     )
     join.add_argument(
+        "--verifier",
+        choices=registered_names(),
+        default=None,
+        help="GED backend from the portfolio registry: 'compiled' "
+        "(default), 'astar'/'object', 'dfs', or 'auto' (per-pair "
+        "hardness dispatch; gsimjoin only)",
+    )
+    join.add_argument(
         "--budget-expansions",
         type=int,
         default=None,
         metavar="N",
-        help="cap A* expansions per pair; undecided pairs get GED bounds",
+        help="cap search expansions per pair; undecided pairs get GED "
+        "bounds",
     )
     join.add_argument(
         "--budget-seconds",
         type=float,
         default=None,
         metavar="S",
-        help="cap A* wall-clock seconds per pair",
+        help="cap search wall-clock seconds per pair",
     )
     join.add_argument(
         "--checkpoint",
@@ -215,6 +225,8 @@ def _cmd_join_sharded(args, budget) -> int:
     from repro.core.sharded import gsim_join_sharded
 
     options = getattr(GSimJoinOptions, args.variant)(q=args.q)
+    if args.verifier is not None:
+        options = dataclasses.replace(options, verifier=args.verifier)
     if args.auto_plan:
         options = dataclasses.replace(options, plan="auto")
     result = gsim_join_sharded(
@@ -241,10 +253,11 @@ def _cmd_join(args) -> int:
         or args.checkpoint is not None
         or args.explain_plan
         or args.auto_plan
+        or args.verifier is not None
     ):
         raise ReproError(
-            "--budget-*/--checkpoint/--explain-plan/--auto-plan require "
-            "--algorithm gsimjoin"
+            "--budget-*/--checkpoint/--explain-plan/--auto-plan/--verifier "
+            "require --algorithm gsimjoin"
         )
     if args.shards is not None:
         # Out-of-core path: the collection file is streamed, not loaded.
@@ -256,6 +269,8 @@ def _cmd_join(args) -> int:
     graphs = _load(args.collection)
     if args.algorithm == "gsimjoin":
         options = getattr(GSimJoinOptions, args.variant)(q=args.q)
+        if args.verifier is not None:
+            options = dataclasses.replace(options, verifier=args.verifier)
         if args.auto_plan:
             options = dataclasses.replace(options, plan="auto")
         if args.explain_plan == "table":

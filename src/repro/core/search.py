@@ -90,12 +90,12 @@ class GSimIndex:
         # Columnar store for the batch kernels, built lazily on the
         # first batched query and invalidated by every insert.
         self._store: Optional[ColumnarStore] = None
-        # Compiled-verifier cache, living as long as the index: data
-        # graphs are compiled on first query touching them and reused
-        # by every later query (indexed graphs are never mutated).
-        self._cache: Optional[VerificationCache] = (
-            VerificationCache() if self.options.verifier == "compiled" else None
-        )
+        # Verification cache, living as long as the index: data graphs
+        # are compiled on first query touching them and reused by every
+        # later query (indexed graphs are never mutated), and the
+        # pair-level verdict memo lets overlapping queries and top-k
+        # probes reuse exact and bounded verdicts across calls.
+        self._cache: Optional[VerificationCache] = VerificationCache()
 
         initial = list(graphs)
         initial_profiles = [extract_qgrams(g, self.options.q) for g in initial]

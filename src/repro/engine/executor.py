@@ -65,9 +65,10 @@ from repro.engine.result import (
     JoinStatistics,
     StageStatistics,
 )
-from repro.engine.stages import BUDGETED_VERIFIERS, PairContext, VerifyOutcome
+from repro.engine.stages import PairContext, VerifyOutcome
 from repro.exceptions import ParameterError
 from repro.ged.compiled import VerificationCache
+from repro.ged.portfolio import validate_backend_options
 from repro.graph.graph import Graph
 from repro.grams.columnar import (
     ColumnarStore,
@@ -114,6 +115,7 @@ def record_of(i: int, j: int, outcome: VerifyOutcome) -> VerificationRecord:
         undecided=outcome.undecided,
         lower=outcome.lower,
         upper=outcome.upper,
+        backend=outcome.backend,
     )
 
 
@@ -249,7 +251,7 @@ class Executor:
         self.stats = stats
         self.budget = budget
         self.plan = plan if plan is not None else build_plan(options)
-        if cache is None and options.verifier == "compiled":
+        if cache is None:
             cache = VerificationCache()
         self.cache = cache
         existing = {row.name: row for row in stats.stages}
@@ -722,6 +724,10 @@ class Executor:
             stats.ged_calls += 1
             stats.ged_expansions += rec.expansions
             stats.ged_time += rec.ged_seconds
+            if rec.backend:
+                stats.verify_backends[rec.backend] = (
+                    stats.verify_backends.get(rec.backend, 0) + 1
+                )
         if rec.undecided:
             stats.undecided += 1
         stats.replayed_pairs += 1
@@ -756,12 +762,10 @@ class Executor:
 def _reject_unbudgetable(
     options: GSimJoinOptions, budget: Optional[VerificationBudget]
 ) -> None:
-    """Budgets require an A*-family verifier, as historically."""
-    if budget is not None and options.verifier not in BUDGETED_VERIFIERS:
-        raise ParameterError(
-            "budgeted verification requires an A*-family verifier "
-            "('astar'/'object'/'compiled')"
-        )
+    """Registry-driven capability gate for the requested features."""
+    validate_backend_options(
+        options.verifier, budget=budget, anchor_bound=options.anchor_bound
+    )
 
 
 def execute_self_join(

@@ -55,19 +55,26 @@ class GSimJoinOptions:
         (``interned=False``, retained for the parity property tests);
         only speed differs.
     verifier:
-        Exact GED engine for the surviving candidates: ``"compiled"``
-        (the default — the integer-array A* of
+        Exact GED backend for the surviving candidates, resolved
+        through the portfolio registry of :mod:`repro.ged.portfolio`:
+        ``"compiled"`` (the default — the integer-array A* of
         :mod:`repro.ged.compiled`, with per-collection graph
         compilation cached across candidate pairs; bit-identical
         results), ``"object"``/``"astar"`` (the object-graph A*
-        reference implementation, two names for one backend) or
+        reference implementation, two names for one backend),
         ``"dfs"`` (depth-first branch-and-bound with a bipartite
-        incumbent — an extension; same answers, O(|V|) memory).
+        incumbent — an extension; same answers, O(|V|) memory,
+        budget-aware with sound lower/upper brackets on exhaustion) or
+        ``"auto"`` (per-pair hardness dispatcher picking ``"dfs"`` for
+        hard low-diversity pairs and ``"compiled"`` otherwise — same
+        result pairs as every single backend; choices recorded in
+        ``JoinStatistics.verify_backends``).
     anchor_bound:
         Enable the compiled backend's optional anchor-aware lower
         bound: identical pairs and distances, potentially fewer A*
         expansions (off by default so expansion counts stay comparable
-        with the object backend).  Requires ``verifier="compiled"``.
+        with the object backend).  Requires a backend declaring
+        anchor-bound support (``verifier="compiled"``).
     plan:
         Optional explicit ordering of the per-pair filter cascade, as a
         tuple of stage names — a strict permutation of the cascade the
@@ -177,8 +184,8 @@ def validate_collection(
     ------
     ParameterError
         On negative ``tau``/``q``, missing or duplicate graph ids,
-        mixed directedness, or ``anchor_bound`` without the compiled
-        verifier.
+        mixed directedness, an unknown verifier, or ``anchor_bound``
+        with a backend whose declared capabilities exclude it.
     """
     if tau < 0:
         raise ParameterError(f"tau must be >= 0, got {tau}")
@@ -193,7 +200,8 @@ def validate_collection(
         raise ParameterError("graph ids must be distinct")
     if len({g.is_directed for g in graphs}) > 1:
         raise ParameterError("cannot mix directed and undirected graphs in a join")
-    if options.anchor_bound and options.verifier != "compiled":
-        raise ParameterError(
-            "anchor_bound requires the 'compiled' verifier"
-        )
+    from repro.ged.portfolio import validate_backend_options
+
+    validate_backend_options(
+        options.verifier, anchor_bound=options.anchor_bound
+    )

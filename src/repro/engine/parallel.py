@@ -58,10 +58,11 @@ from repro.engine.executor import (
 from repro.engine.inverted_index import InvertedIndex
 from repro.engine.options import GSimJoinOptions, Sorter, validate_collection
 from repro.engine.result import BoundedPair, JoinResult, JoinStatistics
-from repro.engine.stages import BUDGETED_VERIFIERS, VerifyOutcome
+from repro.engine.stages import VerifyOutcome
 from repro.engine.verify import _filters_for, _filters_for_order, verify_pair
 from repro.exceptions import ParameterError, ReproError
 from repro.ged.compiled import VerificationCache
+from repro.ged.portfolio import validate_backend_options
 from repro.graph.graph import Graph
 from repro.grams.columnar import ColumnarStore
 from repro.grams.qgrams import extract_qgrams
@@ -104,9 +105,7 @@ def _init_worker(
     _worker["labels"] = {}
     # Each worker compiles the graphs it touches once, however many
     # candidate pairs they appear in across this worker's chunks.
-    _worker["cache"] = (
-        VerificationCache() if options.verifier == "compiled" else None
-    )
+    _worker["cache"] = VerificationCache()
     # The cascade order this worker verifies with: a tuple plan (the
     # parent ships the planner-calibrated order this way — never the
     # raw "auto" marker, which only the parent's executor interprets)
@@ -338,11 +337,9 @@ def execute_parallel_join(
             f"retry_backoff must be >= 0, got {retry_backoff}"
         )
     validate_collection(graphs, tau, options)
-    if budget is not None and options.verifier not in BUDGETED_VERIFIERS:
-        raise ParameterError(
-            "budgeted verification requires an A*-family verifier "
-            "('astar'/'object'/'compiled')"
-        )
+    validate_backend_options(
+        options.verifier, budget=budget, anchor_bound=options.anchor_bound
+    )
 
     stats = JoinStatistics(num_graphs=len(graphs), tau=tau, q=options.q)
     result = JoinResult(stats=stats)
@@ -544,7 +541,6 @@ def _run_chunks(
     chunk_records: Dict[int, List[VerificationRecord]] = {}
     retries = [0] * len(chunks)
     pending = [idx for idx in range(len(chunks))]
-    dfs_fallback = options.verifier not in BUDGETED_VERIFIERS
     while pending:
         executor = ProcessPoolExecutor(
             max_workers=workers,
@@ -587,7 +583,7 @@ def _run_chunks(
                 tau,
                 options,
                 sorter,
-                None if dfs_fallback else fallback_budget,
+                fallback_budget,
                 stats,
             )
         elif retry_backoff > 0:

@@ -111,6 +111,9 @@ class JoinStatistics:
     compiled_graphs: int = 0  #: distinct graphs compiled by the verifier cache
 
     undecided: int = 0  #: pairs whose budget-bounded verdict spans tau
+    memo_hits: int = 0  #: pairs answered by the verdict memo, no search run
+    verify_backends: Dict[str, int] = field(default_factory=dict)
+    #: verify calls per portfolio backend (``"memo"`` for memo answers)
     replayed_pairs: int = 0  #: pairs skipped on resume via the journal
     chunk_retries: int = 0  #: parallel chunks re-dispatched after a failure
     fallback_pairs: int = 0  #: pairs verified in-process after max_retries
@@ -178,6 +181,12 @@ class JoinStatistics:
                 "  ".join(cell.ljust(widths[col]) for col, cell in enumerate(row))
                 .rstrip()
             )
+        if self.verify_backends:
+            breakdown = ", ".join(
+                f"{name}={count}"
+                for name, count in sorted(self.verify_backends.items())
+            )
+            lines.append(f"verify backends: {breakdown}")
         if self.replan_events:
             lines.append("re-plan events:")
             for event in self.replan_events:
@@ -214,6 +223,8 @@ class JoinStatistics:
             ],
             "replan_events": list(self.replan_events),
             "plan_advice": dict(self.plan_advice),
+            "verify_backends": dict(self.verify_backends),
+            "memo_hits": self.memo_hits,
         }
 
     def summary(self) -> str:

@@ -58,7 +58,7 @@ from repro.engine.inverted_index import InvertedIndex
 from repro.engine.options import GSimJoinOptions
 from repro.engine.parallel import DEFAULT_FALLBACK_BUDGET, _run_chunks
 from repro.engine.result import BoundedPair, JoinResult, JoinStatistics, StageStatistics
-from repro.engine.stages import BUDGETED_VERIFIERS
+from repro.ged.portfolio import validate_backend_options
 from repro.exceptions import CheckpointError, MemoryBudgetError, ParameterError
 from repro.graph.graph import Graph
 from repro.graph.io import dumps_graphs, load_graphs_iter
@@ -459,7 +459,6 @@ class _ComboContext:
         chunks = [
             todo[k : k + _CHUNK_SIZE] for k in range(0, len(todo), _CHUNK_SIZE)
         ]
-        dfs_fallback = self.options.verifier not in BUDGETED_VERIFIERS
         chunk_records = _run_chunks(
             chunks,
             graphs=list(graphs),
@@ -474,10 +473,8 @@ class _ComboContext:
             chunk_timeout=self.chunk_timeout,
             retry_backoff=self.retry_backoff,
             fallback_budget=(
-                None
-                if dfs_fallback
-                else (self.budget if self.budget is not None
-                      else DEFAULT_FALLBACK_BUDGET)
+                self.budget if self.budget is not None
+                else DEFAULT_FALLBACK_BUDGET
             ),
             stats=self.pair_stats,
         )
@@ -800,11 +797,9 @@ def execute_sharded_join(
         raise ParameterError(f"max_retries must be >= 0, got {max_retries}")
     if retry_backoff < 0:
         raise ParameterError(f"retry_backoff must be >= 0, got {retry_backoff}")
-    if budget is not None and options.verifier not in BUDGETED_VERIFIERS:
-        raise ParameterError(
-            "budgeted verification requires an A*-family verifier "
-            "('astar'/'object'/'compiled')"
-        )
+    validate_backend_options(
+        options.verifier, budget=budget, anchor_bound=options.anchor_bound
+    )
     spill_dir = os.fspath(spill_dir)
     os.makedirs(spill_dir, exist_ok=True)
 

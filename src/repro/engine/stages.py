@@ -40,9 +40,8 @@ from typing import FrozenSet, Optional, Tuple
 from repro.engine.prefix import PrefixInfo, basic_prefix, minedit_prefix
 from repro.engine.result import JoinStatistics
 from repro.exceptions import ParameterError
-from repro.ged.astar import graph_edit_distance_detailed
-from repro.ged.compiled import VerificationCache, compiled_ged_detailed
-from repro.ged.heuristics import label_heuristic, make_local_label_heuristic
+from repro.ged.compiled import VerificationCache
+from repro.ged.portfolio import budgeted_backends, validate_backend_options
 from repro.ged.vertex_order import input_vertex_order, mismatch_vertex_order
 from repro.grams.labels import (
     global_label_lower_bound,
@@ -71,8 +70,12 @@ __all__ = [
     "run_cascade",
 ]
 
-#: Verifiers that support :class:`VerificationBudget` bounded verdicts.
-BUDGETED_VERIFIERS = frozenset({"astar", "object", "compiled"})
+#: Deprecated alias: registry keys whose backends honour a
+#: :class:`VerificationBudget`.  Since the DFS backend grew bounded
+#: verdicts this is *every* registered verifier; kept for callers that
+#: still import the historical name (see :mod:`repro.ged.portfolio`
+#: for the capability declarations themselves).
+BUDGETED_VERIFIERS = budgeted_backends()
 
 LabelPair = Tuple[Counter, Counter]
 
@@ -87,13 +90,19 @@ class VerifyOutcome:
     computation ran and decided exactly.
 
     Budgeted verification adds three fields: ``undecided`` marks a pair
-    whose A* exhausted its budget with ``lower ≤ tau < upper`` (the
+    whose search exhausted its budget with ``lower ≤ tau < upper`` (the
     join routes it to the ``undecided`` channel), and
     ``lower``/``upper`` carry the bounded verdict whenever the budget
     ran out — including for pairs the bounds *did* decide (accepted
     because ``upper ≤ tau``, or rejected because ``lower > tau``).
-    ``expansions``/``ged_seconds`` record the A* cost of this single
-    pair so the outcome can be journaled and replayed exactly.
+    ``expansions``/``ged_seconds`` record the search cost of this
+    single pair so the outcome can be journaled and replayed exactly.
+
+    ``backend`` names the portfolio backend that produced a GED verdict
+    (``"compiled"``/``"object"``/``"dfs"`` — under ``verifier="auto"``
+    the dispatcher's per-pair choice — or ``"memo"`` when the verdict
+    came from the :class:`VerificationCache`'s pair-level memo without
+    running a search); ``None`` for filter prunes.
     """
 
     is_result: bool
@@ -104,6 +113,7 @@ class VerifyOutcome:
     upper: Optional[int] = None
     expansions: int = 0
     ged_seconds: float = 0.0
+    backend: Optional[str] = None
 
 
 class PairContext:
@@ -341,15 +351,21 @@ class MulticoverFilter(PairFilter):
 class Verify:
     """Exact GED on the filter survivors (``role="verify"``).
 
-    Wraps the configured backend — the compiled integer-array A*, the
-    object-graph A*, or the DFS branch-and-bound — with the improved
-    vertex order (Algorithm 7), the improved heuristic (Algorithm 8)
-    and budget-bounded verdicts.
+    Resolves the configured backend through the portfolio registry
+    (:mod:`repro.ged.portfolio`) — the compiled integer-array A*, the
+    object-graph A*, the DFS branch-and-bound, or the ``"auto"``
+    per-pair hardness dispatcher — and wraps it with the improved
+    vertex order (Algorithm 7), the improved heuristic (Algorithm 8),
+    budget-bounded verdicts, and the :class:`VerificationCache`'s
+    pair-level verdict memo.
     """
 
     name = "verify"
     role = "verify"
-    __slots__ = ("verifier", "improved_order", "improved_h", "anchor_bound")
+    __slots__ = (
+        "verifier", "improved_order", "improved_h", "anchor_bound",
+        "_backend",
+    )
 
     def __init__(
         self,
@@ -358,16 +374,30 @@ class Verify:
         improved_h: bool,
         anchor_bound: bool = False,
     ) -> None:
-        """Configure the GED backend and its optimizations."""
+        """Configure the GED backend and its optimizations.
+
+        Raises
+        ------
+        ParameterError
+            On an unknown verifier, or ``anchor_bound`` with a backend
+            that does not declare anchor-bound support.
+        """
         self.verifier = verifier
         self.improved_order = improved_order
         self.improved_h = improved_h
         self.anchor_bound = anchor_bound
+        self._backend = validate_backend_options(
+            verifier, anchor_bound=anchor_bound
+        )
 
     @property
     def detail(self) -> str:
         """Plan-description line naming the configured backend."""
-        return f"exact GED via the {self.verifier!r} backend (A* family)"
+        caps = self._backend.capabilities
+        return (
+            f"exact GED via the {self._backend.name!r} backend "
+            f"({caps.memory_profile} memory)"
+        )
 
     def run(
         self,
@@ -379,77 +409,72 @@ class Verify:
         """Decide one surviving pair exactly (or bounded, under budget).
 
         Accrues ``cand2``, ``ged_calls``, ``ged_expansions``,
-        ``ged_time`` and ``undecided`` into ``stats`` exactly as the
-        historical ``verify_pair`` did; ``ged_time`` starts *after* the
-        vertex-order computation so timing semantics are unchanged.
+        ``ged_time``, per-backend call counts and ``undecided`` into
+        ``stats`` exactly as the historical ``verify_pair`` did;
+        ``ged_time`` starts *after* the vertex-order computation so
+        timing semantics are unchanged.
+
+        When ``cache`` carries a decided verdict for this graph-identity
+        pair at this threshold (an earlier search of an overlapping
+        index query or top-k probe), the memo answers without running
+        any search — ``backend="memo"``, zero expansions, no
+        ``ged_calls`` tick.
 
         Raises
         ------
         ParameterError
-            On an unknown verifier, a ``budget`` combined with the
-            ``"dfs"`` verifier, or ``anchor_bound`` without the
-            compiled verifier.
+            On a ``budget`` with a backend whose capabilities exclude
+            budgeted verification.
         """
         p_r, p_s, tau = ctx.p_r, ctx.p_s, ctx.tau
         r, s = p_r.graph, p_s.graph
         if stats:
             stats.cand2 += 1
+        if cache is not None:
+            hit = cache.lookup_verdict(r, s, tau)
+            if hit is not None:
+                accept, exact, lower, upper = hit
+                if stats:
+                    stats.memo_hits += 1
+                    stats.verify_backends["memo"] = (
+                        stats.verify_backends.get("memo", 0) + 1
+                    )
+                if accept:
+                    return VerifyOutcome(
+                        True, None, exact, lower=lower, upper=upper,
+                        backend="memo",
+                    )
+                return VerifyOutcome(
+                    False, "ged", exact, lower=lower, upper=upper,
+                    backend="memo",
+                )
+        if budget is not None and not self._backend.capabilities.supports_budget:
+            validate_backend_options(
+                self.verifier, budget=budget, anchor_bound=self.anchor_bound
+            )
         order = (
             mismatch_vertex_order(r, ctx.mismatch.mismatch_r)
             if self.improved_order
             else input_vertex_order(r)
         )
-        if self.anchor_bound and self.verifier != "compiled":
-            raise ParameterError(
-                "anchor_bound requires the 'compiled' verifier"
-            )
+        backend = self._backend.select(r, s, tau, ctx.labels_r, ctx.labels_s)
         started = time.perf_counter()
-        if self.verifier == "dfs":
-            if budget is not None:
-                raise ParameterError(
-                    "budgeted verification requires an A*-family verifier "
-                    "('astar'/'object'/'compiled')"
-                )
-            from repro.ged.dfs import dfs_ged
-
-            heuristic = (
-                make_local_label_heuristic(p_r.q, tau)
-                if self.improved_h
-                else label_heuristic
-            )
-            search = dfs_ged(
-                r, s, threshold=tau, heuristic=heuristic, vertex_order=order
-            )
-        elif self.verifier == "compiled":
-            if cache is None:
-                cache = VerificationCache()
-            cr = cache.compile(r)
-            cs = cache.compile(s)
-            index_of = cr.index_of
-            int_order = [index_of[v] for v in order]
-            search = compiled_ged_detailed(
-                cr, cs, threshold=tau, vertex_order=int_order, budget=budget,
-                improved_h=self.improved_h, q=p_r.q, h_tau=tau,
-                subgraph_cache=cache.subgraph_cache,
-                anchor_bound=self.anchor_bound,
-            )
-        elif self.verifier in ("astar", "object"):
-            heuristic = (
-                make_local_label_heuristic(p_r.q, tau)
-                if self.improved_h
-                else label_heuristic
-            )
-            search = graph_edit_distance_detailed(
-                r, s, threshold=tau, heuristic=heuristic, vertex_order=order,
-                budget=budget,
-            )
-        else:
-            raise ParameterError(f"unknown verifier {self.verifier!r}")
+        search = backend.verify(
+            r, s, tau, budget,
+            order=order, improved_h=self.improved_h, q=p_r.q, cache=cache,
+            anchor_bound=self.anchor_bound,
+        )
         elapsed = time.perf_counter() - started
+        if cache is not None:
+            cache.record_verdict(r, s, tau, search)
         if stats:
             stats.ged_time += elapsed
             stats.ged_calls += 1
             stats.ged_expansions += search.expanded
+            stats.verify_backends[backend.name] = (
+                stats.verify_backends.get(backend.name, 0) + 1
+            )
+        name = backend.name
         if getattr(search, "budget_exhausted", False):
             lower, upper = search.lower, search.upper
             if upper is not None and upper <= tau:
@@ -457,27 +482,32 @@ class Verify:
                 return VerifyOutcome(
                     True, None, None, lower=lower, upper=upper,
                     expansions=search.expanded, ged_seconds=elapsed,
+                    backend=name,
                 )
             if lower is not None and lower > tau:
                 # tau < lower <= ged: decided rejection.
                 return VerifyOutcome(
                     False, "ged", None, lower=lower, upper=upper,
                     expansions=search.expanded, ged_seconds=elapsed,
+                    backend=name,
                 )
             if stats:
                 stats.undecided += 1
             return VerifyOutcome(
                 False, None, None, undecided=True, lower=lower, upper=upper,
                 expansions=search.expanded, ged_seconds=elapsed,
+                backend=name,
             )
         if search.distance <= tau:
             return VerifyOutcome(
                 True, None, search.distance,
                 expansions=search.expanded, ged_seconds=elapsed,
+                backend=name,
             )
         return VerifyOutcome(
             False, "ged", search.distance,
             expansions=search.expanded, ged_seconds=elapsed,
+            backend=name,
         )
 
 

@@ -20,7 +20,6 @@ from typing import FrozenSet, Optional, Tuple
 
 from repro.engine.result import JoinStatistics
 from repro.engine.stages import (
-    BUDGETED_VERIFIERS,
     CountFilter,
     GlobalLabelFilter,
     LabelFilter,
@@ -114,21 +113,25 @@ def verify_pair(
     ``stats``, when given, accrues the Cand-2 counter, filter prune
     counters, and GED timings.
 
-    ``verifier`` selects the GED backend: ``"compiled"`` (the
+    ``verifier`` names a portfolio backend (resolved through the
+    registry of :mod:`repro.ged.portfolio`): ``"compiled"`` (the
     integer-array A* of :mod:`repro.ged.compiled`, bit-identical to the
     object backend), ``"astar"``/``"object"`` (the object-graph A* of
-    :mod:`repro.ged.astar`; two names for one backend), or ``"dfs"``.
-    ``cache`` supplies the per-collection :class:`VerificationCache`
-    for the compiled backend (one is created ad hoc when omitted, which
-    forfeits cross-pair compilation reuse).  ``anchor_bound`` enables
-    the compiled backend's optional anchor-aware lower bound — same
-    results, potentially fewer expansions.
+    :mod:`repro.ged.astar`; two names for one backend), ``"dfs"``
+    (budget-aware branch-and-bound), or ``"auto"`` (per-pair hardness
+    dispatch).  ``cache`` supplies the per-collection
+    :class:`VerificationCache` — compiled-graph reuse plus the
+    pair-level verdict memo (one is created ad hoc when omitted, which
+    forfeits cross-pair reuse).  ``anchor_bound`` enables the compiled
+    backend's optional anchor-aware lower bound — same results,
+    potentially fewer expansions.
 
-    ``budget`` caps the A* effort; on exhaustion the outcome is decided
-    from the bounded verdict when possible (``upper <= tau`` accepts,
-    ``lower > tau`` rejects) and marked ``undecided`` otherwise — never
-    an exception or a hang.  Budgets require an A*-family verifier
-    (``"astar"``/``"object"``/``"compiled"``).
+    ``budget`` caps the search effort; on exhaustion the outcome is
+    decided from the bounded verdict when possible (``upper <= tau``
+    accepts, ``lower > tau`` rejects) and marked ``undecided``
+    otherwise — never an exception or a hang.  Every registered
+    backend honours budgets (the DFS backend returns its admissible
+    root bound and bipartite incumbent as the bracket).
 
     ``hinted`` names cascade stages the batch kernels of
     :mod:`repro.engine.batch` already proved passed for this pair; they
@@ -143,9 +146,9 @@ def verify_pair(
     Raises
     ------
     ParameterError
-        On an unknown verifier, a ``budget`` combined with the
-        ``"dfs"`` verifier (which has no bounded-verdict mode), or
-        ``anchor_bound`` with a non-compiled verifier.
+        On an unknown verifier, or a requested feature (``budget``,
+        ``anchor_bound``) the resolved backend's declared capabilities
+        exclude.
     """
     ctx = PairContext(p_r, p_s, tau, labels_r, labels_s)
     filters = (

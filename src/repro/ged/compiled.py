@@ -220,6 +220,8 @@ class VerificationCache:
         "compile_seconds",
         "hits",
         "misses",
+        "_verdicts",
+        "memo_hits",
     )
 
     def __init__(self) -> None:
@@ -232,6 +234,79 @@ class VerificationCache:
         self.compile_seconds: float = 0.0
         self.hits: int = 0
         self.misses: int = 0
+        #: Pair-level verdict memo (Nass-style): per ordered graph-
+        #: identity pair, the best known ``[r, s, exact, lower, upper]``
+        #: GED knowledge accumulated across searches.  The graph
+        #: references in the entry pin both objects alive, so the
+        #: ``id()``-pair key can never be recycled while the cache
+        #: lives (the same identity discipline as ``_compiled``).
+        self._verdicts: Dict[Tuple[int, int], list] = {}
+        self.memo_hits: int = 0
+
+    def record_verdict(
+        self, r: Graph, s: Graph, tau: int, search: GedSearchResult
+    ) -> None:
+        """Fold one search result into the pair's verdict entry.
+
+        ``search`` is a :class:`~repro.ged.astar.GedSearchResult` (or
+        anything shaped like one) produced at threshold ``tau``:
+
+        * a decided search contributes the exact distance (when
+          ``<= tau``) or the fact ``ged > tau`` (a lower bound);
+        * a budget-exhausted search contributes its ``lower``/``upper``
+          bracket; brackets from different runs intersect (max of
+          lowers, min of uppers) and a closed bracket becomes exact.
+        """
+        key = (id(r), id(s))
+        entry = self._verdicts.get(key)
+        if entry is None:
+            entry = [r, s, None, 0, None]
+            self._verdicts[key] = entry
+        if getattr(search, "budget_exhausted", False):
+            if search.lower is not None and search.lower > entry[3]:
+                entry[3] = search.lower
+            if search.upper is not None and (
+                entry[4] is None or search.upper < entry[4]
+            ):
+                entry[4] = search.upper
+            if entry[4] is not None and entry[3] == entry[4]:
+                entry[2] = entry[4]
+        elif search.exceeded_threshold:
+            if tau + 1 > entry[3]:
+                entry[3] = tau + 1
+        else:
+            distance = search.distance
+            entry[2] = distance
+            if distance > entry[3]:
+                entry[3] = distance
+            if entry[4] is None or distance < entry[4]:
+                entry[4] = distance
+
+    def lookup_verdict(
+        self, r: Graph, s: Graph, tau: int
+    ) -> Optional[Tuple[bool, Optional[int], int, Optional[int]]]:
+        """Decide ``ged(r, s) <= tau`` from memoized verdicts, if possible.
+
+        Returns ``None`` when the accumulated knowledge cannot decide
+        this threshold, else ``(accept, exact, lower, upper)`` —
+        ``exact`` is the distance when known, the bounds are the
+        entry's current bracket.  Counts a ``memo_hits`` tick on every
+        decided lookup.
+        """
+        entry = self._verdicts.get((id(r), id(s)))
+        if entry is None:
+            return None
+        _r, _s, exact, lower, upper = entry
+        if exact is not None:
+            self.memo_hits += 1
+            return (exact <= tau, exact, lower, upper)
+        if lower > tau:
+            self.memo_hits += 1
+            return (False, None, lower, upper)
+        if upper is not None and upper <= tau:
+            self.memo_hits += 1
+            return (True, None, lower, upper)
+        return None
 
     def compile(self, g: Graph) -> CompiledGraph:
         """The compiled form of ``g``, compiling on first sight."""

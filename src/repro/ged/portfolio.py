@@ -1,0 +1,446 @@
+"""The verifier portfolio: first-class GED backends behind one protocol.
+
+The join's verification stage historically selected its exact-GED
+engine by string (``verifier="compiled"|"object"|"astar"|"dfs"``), and
+every driver re-encoded the capability rules — which backends honour a
+:class:`~repro.runtime.budget.VerificationBudget`, which support the
+anchor bound, which need the compilation cache — as scattered
+special-cases.  This module makes the backends first-class:
+
+* :class:`BackendCapabilities` declares, per backend, whether budgets /
+  bounded verdicts / the anchor bound are supported, the search's
+  memory profile, and whether it runs over
+  :class:`~repro.ged.compiled.CompiledGraph` arrays;
+* :class:`VerifierBackend` is the uniform surface — ``verify(r, s,
+  tau, budget) -> GedSearchResult`` — every backend implements;
+* a process-wide **registry** maps names (and aliases) to backend
+  singletons; :func:`resolve_backend` is the single place an unknown
+  verifier string is rejected, and :func:`validate_backend_options` is
+  the single capability check, naming the offending backend *and* its
+  declared capabilities;
+* :class:`AutoBackend` (``verifier="auto"``) is a per-pair hardness
+  dispatcher: a pure, deterministic function of the pair's sizes, the
+  threshold and the label-multiset diversity picks the concrete
+  backend, so parallel and sharded runs agree with sequential ones
+  bit-for-bit.
+
+Hardness model (why the dispatcher is shaped this way): the A* keeps a
+best-first frontier whose size explodes exactly when the label bound is
+uninformative — large graphs over few distinct labels at a loose
+threshold leave ``Γ(L_V) + Γ(L_E)`` near zero, so A* ties everywhere
+and the open list grows combinatorially, while the DFS branch-and-bound
+(*Fast Computation of Graph Edit Distance*, PAPERS.md) holds one path
+and leans on its bipartite incumbent.  Small or label-diverse pairs at
+tight thresholds are the opposite: the heuristic is sharp, A* expands a
+handful of states, and the DFS's eagerness wastes work.  The default
+thresholds below were calibrated on the mixed-hardness row of
+``benchmarks/bench_ged_trajectory.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ParameterError
+from repro.ged.astar import GedSearchResult, graph_edit_distance_detailed
+from repro.ged.compiled import VerificationCache, compiled_ged_detailed
+from repro.ged.heuristics import label_heuristic, make_local_label_heuristic
+from repro.graph.graph import Graph, Vertex
+from repro.runtime.budget import VerificationBudget
+
+__all__ = [
+    "BackendCapabilities",
+    "VerifierBackend",
+    "ObjectAStarBackend",
+    "CompiledAStarBackend",
+    "DfsBackend",
+    "AutoBackend",
+    "register_backend",
+    "resolve_backend",
+    "registered_backends",
+    "registered_names",
+    "budgeted_backends",
+    "validate_backend_options",
+]
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What one verifier backend declares it can do.
+
+    ``memory_profile`` is descriptive (``"frontier"`` for best-first
+    searches holding an open list, ``"constant"`` for path-only
+    branch-and-bound); ``uses_compiled_cache`` tells the drivers the
+    backend profits from a shared :class:`VerificationCache` (every
+    driver now creates one unconditionally, but the flag still feeds
+    the capability table in ``docs/ARCHITECTURE.md`` and the
+    registry-driven error messages).
+    """
+
+    supports_budget: bool
+    supports_bounded_verdicts: bool
+    supports_anchor_bound: bool
+    memory_profile: str
+    uses_compiled_cache: bool
+
+    def describe(self) -> str:
+        """One-line rendering for error messages and plan output."""
+        flags = [
+            f"budget={'yes' if self.supports_budget else 'no'}",
+            f"bounded_verdicts={'yes' if self.supports_bounded_verdicts else 'no'}",
+            f"anchor_bound={'yes' if self.supports_anchor_bound else 'no'}",
+            f"memory={self.memory_profile}",
+        ]
+        return ", ".join(flags)
+
+
+class VerifierBackend:
+    """Base of every portfolio backend (register instances, not classes).
+
+    Subclasses set ``name`` (the canonical registry key), optional
+    ``aliases``, and ``capabilities``, and implement :meth:`verify`.
+    :meth:`select` exists for dispatchers: concrete backends return
+    themselves, :class:`AutoBackend` returns the backend its hardness
+    model picks for the pair — callers always invoke
+    ``backend.select(...).verify(...)`` so the dispatch point is
+    uniform.
+    """
+
+    name: str = ""
+    aliases: Tuple[str, ...] = ()
+    capabilities: BackendCapabilities
+
+    def verify(
+        self,
+        r: Graph,
+        s: Graph,
+        tau: int,
+        budget: Optional[VerificationBudget] = None,
+        *,
+        order: Optional[Sequence[Vertex]] = None,
+        improved_h: bool = False,
+        q: int = 0,
+        cache: Optional[VerificationCache] = None,
+        anchor_bound: bool = False,
+    ) -> GedSearchResult:
+        """Decide ``ged(r, s) <= tau`` (exactly, or bounded under budget).
+
+        Returns a :class:`~repro.ged.astar.GedSearchResult`:
+        ``distance <= tau`` accepts, ``tau + 1`` rejects, and a
+        budget-exhausted run carries a ``lower <= ged <= upper``
+        bracket.  ``order`` is the mapping order over ``V(r)`` (object
+        vertices; compiled backends translate internally).
+        """
+        raise NotImplementedError
+
+    def select(
+        self,
+        r: Graph,
+        s: Graph,
+        tau: int,
+        labels_r: Optional[Tuple] = None,
+        labels_s: Optional[Tuple] = None,
+    ) -> "VerifierBackend":
+        """The concrete backend to run for this pair (self, by default)."""
+        return self
+
+
+def _compile_pair(
+    r: Graph, s: Graph, cache: Optional[VerificationCache],
+    order: Optional[Sequence[Vertex]],
+):
+    """Compile both graphs (ad hoc cache when none is shared) and
+    translate the object-vertex order to dense indices."""
+    if cache is None:
+        cache = VerificationCache()
+    cr = cache.compile(r)
+    cs = cache.compile(s)
+    int_order = (
+        None if order is None else [cr.index_of[v] for v in order]
+    )
+    return cr, cs, int_order, cache
+
+
+class ObjectAStarBackend(VerifierBackend):
+    """The object-graph A* reference (:mod:`repro.ged.astar`)."""
+
+    name = "object"
+    aliases = ("astar",)
+    capabilities = BackendCapabilities(
+        supports_budget=True,
+        supports_bounded_verdicts=True,
+        supports_anchor_bound=False,
+        memory_profile="frontier",
+        uses_compiled_cache=False,
+    )
+
+    def verify(
+        self,
+        r: Graph,
+        s: Graph,
+        tau: int,
+        budget: Optional[VerificationBudget] = None,
+        *,
+        order: Optional[Sequence[Vertex]] = None,
+        improved_h: bool = False,
+        q: int = 0,
+        cache: Optional[VerificationCache] = None,
+        anchor_bound: bool = False,
+    ) -> GedSearchResult:
+        heuristic = (
+            make_local_label_heuristic(q, tau) if improved_h
+            else label_heuristic
+        )
+        return graph_edit_distance_detailed(
+            r, s, threshold=tau, heuristic=heuristic, vertex_order=order,
+            budget=budget,
+        )
+
+
+class CompiledAStarBackend(VerifierBackend):
+    """The integer-array A* (:mod:`repro.ged.compiled`), bit-identical
+    to the object backend and the join's default."""
+
+    name = "compiled"
+    aliases = ()
+    capabilities = BackendCapabilities(
+        supports_budget=True,
+        supports_bounded_verdicts=True,
+        supports_anchor_bound=True,
+        memory_profile="frontier",
+        uses_compiled_cache=True,
+    )
+
+    def verify(
+        self,
+        r: Graph,
+        s: Graph,
+        tau: int,
+        budget: Optional[VerificationBudget] = None,
+        *,
+        order: Optional[Sequence[Vertex]] = None,
+        improved_h: bool = False,
+        q: int = 0,
+        cache: Optional[VerificationCache] = None,
+        anchor_bound: bool = False,
+    ) -> GedSearchResult:
+        cr, cs, int_order, cache = _compile_pair(r, s, cache, order)
+        return compiled_ged_detailed(
+            cr, cs, threshold=tau, vertex_order=int_order, budget=budget,
+            improved_h=improved_h, q=q, h_tau=tau,
+            subgraph_cache=cache.subgraph_cache,
+            anchor_bound=anchor_bound,
+        )
+
+
+class DfsBackend(VerifierBackend):
+    """Depth-first branch-and-bound (:mod:`repro.ged.dfs`), run over
+    compiled arrays: constant memory, budget-aware bounded verdicts."""
+
+    name = "dfs"
+    aliases = ()
+    capabilities = BackendCapabilities(
+        supports_budget=True,
+        supports_bounded_verdicts=True,
+        supports_anchor_bound=False,
+        memory_profile="constant",
+        uses_compiled_cache=True,
+    )
+
+    def verify(
+        self,
+        r: Graph,
+        s: Graph,
+        tau: int,
+        budget: Optional[VerificationBudget] = None,
+        *,
+        order: Optional[Sequence[Vertex]] = None,
+        improved_h: bool = False,
+        q: int = 0,
+        cache: Optional[VerificationCache] = None,
+        anchor_bound: bool = False,
+    ) -> GedSearchResult:
+        from repro.ged.dfs import dfs_ged_compiled
+
+        cr, cs, int_order, cache = _compile_pair(r, s, cache, order)
+        return dfs_ged_compiled(
+            cr, cs, threshold=tau, vertex_order=int_order, budget=budget,
+            improved_h=improved_h, q=q, h_tau=tau,
+            subgraph_cache=cache.subgraph_cache,
+        )
+
+
+#: Dispatcher thresholds (see the module docstring's hardness model).
+#: A pair is "hard" — DFS territory — when it is at least this large ...
+AUTO_MIN_VERTICES = 8
+#: ... the threshold at least this loose ...
+AUTO_MIN_TAU = 2
+#: ... and its label diversity (distinct vertex labels across both
+#: graphs) at most this low, starving the A* label heuristic.
+AUTO_MAX_DISTINCT_LABELS = 2
+
+
+class AutoBackend(VerifierBackend):
+    """Per-pair hardness dispatcher (``verifier="auto"``).
+
+    :meth:`select` is a pure function of ``(sizes, tau, vertex-label
+    diversity)`` — no timing, no randomness — so every execution mode
+    (sequential, parallel workers, sharded drains, journal replay)
+    dispatches identically and result parity is structural.  The
+    declared capabilities are the *intersection* of the dispatch
+    targets' capabilities: budgets are fine (both targets bound them),
+    the anchor bound is not (the DFS target has no anchor pruning).
+    """
+
+    name = "auto"
+    aliases = ()
+    capabilities = BackendCapabilities(
+        supports_budget=True,
+        supports_bounded_verdicts=True,
+        supports_anchor_bound=False,
+        memory_profile="adaptive",
+        uses_compiled_cache=True,
+    )
+
+    def verify(
+        self,
+        r: Graph,
+        s: Graph,
+        tau: int,
+        budget: Optional[VerificationBudget] = None,
+        *,
+        order: Optional[Sequence[Vertex]] = None,
+        improved_h: bool = False,
+        q: int = 0,
+        cache: Optional[VerificationCache] = None,
+        anchor_bound: bool = False,
+    ) -> GedSearchResult:
+        return self.select(r, s, tau).verify(
+            r, s, tau, budget, order=order, improved_h=improved_h, q=q,
+            cache=cache, anchor_bound=anchor_bound,
+        )
+
+    def select(
+        self,
+        r: Graph,
+        s: Graph,
+        tau: int,
+        labels_r: Optional[Tuple] = None,
+        labels_s: Optional[Tuple] = None,
+    ) -> VerifierBackend:
+        """Pick ``dfs`` for hard pairs, ``compiled`` otherwise.
+
+        ``labels_r``/``labels_s`` are the pair-cascade's precomputed
+        ``(vertex_counter, edge_counter)`` multisets when the caller has
+        them (the engine always does); label diversity falls back to a
+        direct scan for standalone use.
+        """
+        if max(r.num_vertices, s.num_vertices) < AUTO_MIN_VERTICES:
+            return _COMPILED
+        if tau < AUTO_MIN_TAU:
+            return _COMPILED
+        if labels_r is not None and labels_s is not None:
+            distinct = len(set(labels_r[0]) | set(labels_s[0]))
+        else:
+            distinct = len(
+                {r.vertex_label(v) for v in r.vertices()}
+                | {s.vertex_label(v) for v in s.vertices()}
+            )
+        if distinct <= AUTO_MAX_DISTINCT_LABELS:
+            return _DFS
+        return _COMPILED
+
+
+# --------------------------------------------------------------- registry
+
+_REGISTRY: Dict[str, VerifierBackend] = {}
+
+
+def register_backend(backend: VerifierBackend) -> VerifierBackend:
+    """Register ``backend`` under its name and every alias.
+
+    Later registrations win — tests and experiments may shadow a
+    built-in backend for the lifetime of the process.
+    """
+    for key in (backend.name,) + tuple(backend.aliases):
+        _REGISTRY[key] = backend
+    return backend
+
+
+def resolve_backend(name: str) -> VerifierBackend:
+    """The backend registered under ``name`` (or an alias).
+
+    Raises
+    ------
+    ParameterError
+        Naming the unknown verifier and listing the registered ones.
+    """
+    backend = _REGISTRY.get(name)
+    if backend is None:
+        known = sorted({b.name for b in _REGISTRY.values()})
+        raise ParameterError(
+            f"unknown verifier {name!r} (registered backends: "
+            f"{', '.join(known)})"
+        )
+    return backend
+
+
+def registered_backends() -> List[VerifierBackend]:
+    """The distinct registered backends, sorted by canonical name."""
+    seen: Dict[str, VerifierBackend] = {}
+    for backend in _REGISTRY.values():
+        seen.setdefault(backend.name, backend)
+    return [seen[name] for name in sorted(seen)]
+
+
+def registered_names() -> List[str]:
+    """Every registry key (canonical names and aliases), sorted."""
+    return sorted(_REGISTRY)
+
+
+def budgeted_backends() -> frozenset:
+    """Every registry key whose backend honours a budget."""
+    return frozenset(
+        key for key, backend in _REGISTRY.items()
+        if backend.capabilities.supports_budget
+    )
+
+
+def validate_backend_options(
+    verifier: str,
+    budget: Optional[VerificationBudget] = None,
+    anchor_bound: bool = False,
+) -> VerifierBackend:
+    """Resolve ``verifier`` and check the requested features against its
+    declared capabilities — the single capability gate every driver
+    (options validation, sequential/parallel/sharded joins, the index)
+    goes through.
+
+    Raises
+    ------
+    ParameterError
+        On an unknown verifier, or when ``budget``/``anchor_bound`` is
+        requested from a backend whose capabilities exclude it; the
+        message names the backend and its capability declaration.
+    """
+    backend = resolve_backend(verifier)
+    caps = backend.capabilities
+    if budget is not None and not caps.supports_budget:
+        raise ParameterError(
+            f"verifier {backend.name!r} does not support budgeted "
+            f"verification (declared capabilities: {caps.describe()})"
+        )
+    if anchor_bound and not caps.supports_anchor_bound:
+        raise ParameterError(
+            f"anchor_bound requires a backend with anchor-bound support; "
+            f"verifier {backend.name!r} declares: {caps.describe()} "
+            f"(use the 'compiled' verifier)"
+        )
+    return backend
+
+
+_OBJECT = register_backend(ObjectAStarBackend())
+_COMPILED = register_backend(CompiledAStarBackend())
+_DFS = register_backend(DfsBackend())
+_AUTO = register_backend(AutoBackend())

@@ -99,7 +99,9 @@ class VerificationRecord:
     resumed run's statistics replay what the original run measured.
     ``lower``/``upper`` carry the bounded verdict of a budget-exhausted
     search; ``undecided`` marks pairs whose membership the budget could
-    not decide.
+    not decide.  ``backend`` names the portfolio backend that produced
+    the verdict (``"memo"`` for verdict-memo answers, ``None`` on
+    filter prunes and in journals written before the portfolio existed).
     """
 
     i: int
@@ -112,6 +114,7 @@ class VerificationRecord:
     undecided: bool = False
     lower: Optional[int] = None
     upper: Optional[int] = None
+    backend: Optional[str] = None
 
     @property
     def ran_ged(self) -> bool:

@@ -1,0 +1,23 @@
+"""Fixture: budget drops at the portfolio ``.verify`` dispatch point."""
+
+
+class DfsBackend:
+    """Stand-in portfolio backend with the uniform verify surface."""
+
+    def verify(self, r, s, tau, budget=None):
+        """Decide the pair, bounded under the budget."""
+        return 0
+
+
+def select_backend(r, s, tau):
+    """Stand-in hardness dispatcher."""
+    return DfsBackend()
+
+
+def run_verify_stage(pairs, tau, budget):
+    """Has a budget in scope but drops it at the dispatch point."""
+    out = []
+    for r, s in pairs:
+        backend = select_backend(r, s, tau)
+        out.append(backend.verify(r, s, tau))
+    return out

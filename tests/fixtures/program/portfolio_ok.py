@@ -1,0 +1,32 @@
+"""Fixture: the budget bound at every portfolio ``.verify`` call (clean)."""
+
+
+class DfsBackend:
+    """Stand-in portfolio backend with the uniform verify surface."""
+
+    def verify(self, r, s, tau, budget=None):
+        """Decide the pair, bounded under the budget."""
+        return 0
+
+
+def select_backend(r, s, tau):
+    """Stand-in hardness dispatcher."""
+    return DfsBackend()
+
+
+def run_verify_stage(pairs, tau, budget):
+    """Threads the in-scope budget through every dispatch."""
+    out = []
+    for r, s in pairs:
+        backend = select_backend(r, s, tau)
+        out.append(backend.verify(r, s, tau, budget))
+    return out
+
+
+def run_verify_stage_keyword(pairs, tau, budget):
+    """Keyword binding is equally fine."""
+    out = []
+    for r, s in pairs:
+        backend = select_backend(r, s, tau)
+        out.append(backend.verify(r, s, tau, budget=budget))
+    return out

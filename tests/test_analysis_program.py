@@ -152,6 +152,27 @@ def test_budget_threading_clean_counterpart():
     assert program_findings("budget_ok") == []
 
 
+def test_budget_threading_flags_portfolio_verify_dispatch():
+    """An unresolved ``backend.verify(r, s, tau)`` attr call from a
+    budget-holding caller is a drop at the portfolio dispatch point."""
+    found = program_findings("portfolio_bad")
+    assert found == [
+        (22, "budget-threading"),  # run_verify_stage -> backend.verify
+    ]
+    messages = [
+        f.message
+        for f in run_analysis([FIXTURES / "portfolio_bad.py"])
+        if f.rule == "budget-threading"
+    ]
+    assert "'run_verify_stage'" in messages[0]
+    assert "VerifierBackend" in messages[0]
+
+
+def test_budget_threading_portfolio_clean_counterpart():
+    """Positional or keyword budget binding at the dispatch is clean."""
+    assert program_findings("portfolio_ok") == []
+
+
 # ---------------------------------------------------------------------------
 # ProgramModel building blocks
 # ---------------------------------------------------------------------------

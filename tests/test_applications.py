@@ -119,3 +119,21 @@ class TestKnnClassifier:
         assert 1 <= len(found) <= 2
         for _, distance in found:
             assert distance <= 3
+
+    def test_second_probe_reuses_memoized_verdicts(self):
+        """The index's verdict memo answers a repeated probe of the same
+        query graph: fewer fresh verifications the second time."""
+        graphs, truth = planted_clusters(num_clusters=2, size=5, seed=31)
+        clf = GedKnnClassifier(k=3, tau_max=4, options=GSimJoinOptions.full(q=2))
+        clf.fit(graphs[:-1], truth[:-1])
+        query = graphs[-1]
+
+        first = clf.neighbors(query)
+        calls_after_first = clf.stats.ged_calls
+        assert calls_after_first > 0
+
+        second = clf.neighbors(query)
+        assert second == first
+        fresh_calls = clf.stats.ged_calls - calls_after_first
+        assert fresh_calls < calls_after_first
+        assert clf.stats.memo_hits > 0

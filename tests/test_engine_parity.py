@@ -32,12 +32,14 @@ TAU = 2
 
 
 def comparable_stats(stats):
-    """Every non-wall-clock statistics field (stage rows are engine-only)."""
+    """Every non-wall-clock statistics field (stage rows and the
+    per-backend verify attribution are engine-only)."""
     data = dataclasses.asdict(stats)
     return {
         key: value
         for key, value in data.items()
-        if key != "stages" and not isinstance(value, float)
+        if key not in ("stages", "verify_backends")
+        and not isinstance(value, float)
     }
 
 

@@ -244,8 +244,13 @@ def test_stage_table_renders_all_rows():
     table = result.stats.stage_table()
     lines = table.splitlines()
     assert lines[0].split()[:3] == ["stage", "role", "input"]
-    assert len(lines) == 1 + len(result.stats.stages)
+    stage_lines = [
+        line for line in lines if not line.startswith("verify backends:")
+    ]
+    assert len(stage_lines) == 1 + len(result.stats.stages)
     assert "verify" in table
+    # The per-backend verify attribution rides along below the rows.
+    assert "verify backends: compiled=" in table
 
 
 # ------------------------------------------------------------- CLI

@@ -507,7 +507,10 @@ class TestExplainPlanJson:
         ])
         assert rc == 0
         report = json.loads(capsys.readouterr().err)
-        assert set(report) == {"stages", "replan_events", "plan_advice"}
+        assert set(report) == {
+            "stages", "replan_events", "plan_advice",
+            "verify_backends", "memo_hits",
+        }
         names = [row["name"] for row in report["stages"]]
         assert "verify" in names and set(FULL_FILTERS) <= set(names)
         for row in report["stages"]:

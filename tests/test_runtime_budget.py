@@ -156,12 +156,28 @@ class TestBudgetedJoin:
         assert budgeted.stats.ged_expansions == exact.stats.ged_expansions
         assert budgeted.stats.cand2 == exact.stats.cand2
 
-    def test_budget_requires_astar(self):
-        with pytest.raises(ParameterError, match="astar"):
+    def test_budgeted_dfs_is_sound_and_complete_up_to_undecided(self):
+        """The DFS backend honours budgets with sound brackets — the
+        historical 'budgets require A*-family' restriction is gone."""
+        options = GSimJoinOptions(verifier="dfs")
+        exact = gsim_join(self.graphs, self.tau, options=options)
+        budgeted = gsim_join(
+            self.graphs, self.tau, options=options,
+            budget=VerificationBudget(max_expansions=2),
+        )
+        assert budgeted.pair_set() <= exact.pair_set()
+        undecided_ids = {(bp.r_id, bp.s_id) for bp in budgeted.undecided}
+        assert exact.pair_set() - budgeted.pair_set() <= undecided_ids
+        for bp in budgeted.undecided:
+            assert bp.reason == "budget"
+            assert bp.lower is not None and bp.lower <= self.tau
+            assert bp.upper is None or bp.upper > self.tau
+
+    def test_unknown_verifier_is_rejected_with_registry_listing(self):
+        with pytest.raises(ParameterError, match="registered backends"):
             gsim_join(
                 self.graphs, 1,
-                options=GSimJoinOptions(verifier="dfs"),
-                budget=VerificationBudget(max_expansions=5),
+                options=GSimJoinOptions(verifier="ilp"),
             )
 
 
